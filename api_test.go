@@ -1,0 +1,97 @@
+package ioatsim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPublicAPISurface drives the library exactly as a downstream user
+// would: only exported root-package identifiers.
+func TestPublicAPISurface(t *testing.T) {
+	cluster, sender, receiver := Testbed1(DefaultParams(), IOAT(), 1)
+	conn, peer := Pair(sender.Stack, receiver.Stack, 0, 0)
+	src, dst := sender.Buf(64*KB), receiver.Buf(64*KB)
+
+	var done Time
+	cluster.S.Spawn("tx", func(p *Proc) { conn.Send(p, src, 4*MB) })
+	cluster.S.Spawn("rx", func(p *Proc) {
+		peer.Recv(p, dst, 4*MB)
+		done = p.Now()
+	})
+	cluster.S.Run()
+	if done <= 0 {
+		t.Fatal("transfer did not complete")
+	}
+	if u := receiver.CPU.Utilization(); u <= 0 || u >= 1 {
+		t.Fatalf("utilization = %v", u)
+	}
+}
+
+func TestPublicAPIFeatureConstructors(t *testing.T) {
+	if NonIOAT().DMACopy || !IOAT().DMACopy || !IOAT().SplitHeader {
+		t.Fatal("feature constructors wrong")
+	}
+	if IOATDMAOnly().SplitHeader {
+		t.Fatal("DMA-only must not enable split headers")
+	}
+	if !IOATFull().MultiQueue {
+		t.Fatal("full feature set must enable multiple receive queues")
+	}
+}
+
+func TestPublicAPIExperiments(t *testing.T) {
+	if len(Experiments()) < 19 {
+		t.Fatalf("only %d experiments registered", len(Experiments()))
+	}
+	res, ok := RunExperiment("fig6", ExperimentConfig{Seed: 1, Scale: 0.1})
+	if !ok || res == nil || len(res.Series.Points) == 0 {
+		t.Fatal("RunExperiment(fig6) failed")
+	}
+	if _, ok := RunExperiment("nope", ExperimentConfig{}); ok {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestPublicAPIPVFS(t *testing.T) {
+	cluster := NewCluster(DefaultParams(), 1)
+	compute := cluster.Add("compute", IOAT(), 6)
+	server := cluster.Add("server", IOAT(), 6)
+	sys := NewPVFS(server, 3, 0)
+	var n int
+	cluster.S.Spawn("app", func(p *Proc) {
+		c := NewPVFSClient(p, compute, sys)
+		m := c.Create(p, "f", 2*MB)
+		buf := compute.Buf(2 * MB)
+		c.Read(p, m, 0, m.Size, buf)
+		n = m.Size
+	})
+	cluster.S.Run()
+	if n != 2*MB {
+		t.Fatalf("read %d", n)
+	}
+}
+
+func TestPublicAPIDataCenter(t *testing.T) {
+	m := RunDataCenter(DataCenterOptions{
+		Feat: IOAT(), Seed: 1, ClientNodes: 2, ThreadsPerClient: 2,
+		FileCount: 1, FileSize: 4 * KB,
+		Warm: 10 * time.Millisecond, Meas: 20 * time.Millisecond,
+	})
+	if m.Completed == 0 {
+		t.Fatal("no transactions")
+	}
+}
+
+func TestPublicAPIIPC(t *testing.T) {
+	cluster := NewCluster(DefaultParams(), 1)
+	n := cluster.Add("n", IOAT(), 1)
+	ch := NewIPCChannel(n, 16*KB, 4)
+	var got int
+	src, dst := n.Buf(16*KB), n.Buf(16*KB)
+	cluster.S.Spawn("p", func(p *Proc) { ch.Send(p, src, 16*KB) })
+	cluster.S.Spawn("c", func(p *Proc) { got = ch.Recv(p, dst) })
+	cluster.S.Run()
+	if got != 16*KB {
+		t.Fatalf("got %d", got)
+	}
+}

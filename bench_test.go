@@ -1,0 +1,91 @@
+// Package ioatsim's root benchmarks regenerate every table and figure of
+// the paper through testing.B: one benchmark per figure plus the three
+// ablations. Each iteration runs the full (scaled) experiment and
+// reports the figure's headline metrics via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the whole evaluation. Set IOATSIM_SCALE=1 in the
+// environment for paper-sized runs (slower); the default scale of 0.25
+// preserves every shape.
+package ioatsim
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"ioatsim/internal/bench"
+)
+
+// benchConfig picks the run scale.
+func benchConfig() bench.Config {
+	scale := 0.25
+	if v := os.Getenv("IOATSIM_SCALE"); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil && f > 0 {
+			scale = f
+		}
+	}
+	return bench.Config{Seed: 1, Scale: scale}
+}
+
+// runFigure executes one experiment per iteration and reports the last
+// row's metrics (the figure's headline operating point).
+func runFigure(b *testing.B, id string) {
+	r, ok := bench.Find(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	cfg := benchConfig()
+	var res *bench.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = r.Run(cfg)
+	}
+	b.StopTimer()
+	if res == nil || len(res.Series.Points) == 0 {
+		b.Fatal("experiment produced no rows")
+	}
+	last := res.Series.Points[len(res.Series.Points)-1]
+	for _, col := range res.Series.Columns {
+		b.ReportMetric(last.Values[col], metricName(col))
+	}
+}
+
+// metricName converts a table column into a benchmark metric suffix.
+func metricName(col string) string {
+	out := make([]rune, 0, len(col))
+	for _, r := range col {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		case r == '%':
+			out = append(out, 'p', 'c', 't')
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+func BenchmarkFig3aBandwidth(b *testing.B)         { runFigure(b, "fig3a") }
+func BenchmarkFig3bBidirBandwidth(b *testing.B)    { runFigure(b, "fig3b") }
+func BenchmarkFig4MultiStream(b *testing.B)        { runFigure(b, "fig4") }
+func BenchmarkFig5aSocketOpts(b *testing.B)        { runFigure(b, "fig5a") }
+func BenchmarkFig5bSocketOptsBidir(b *testing.B)   { runFigure(b, "fig5b") }
+func BenchmarkFig6CopyVsDMA(b *testing.B)          { runFigure(b, "fig6") }
+func BenchmarkFig7aSplitUpCPU(b *testing.B)        { runFigure(b, "fig7a") }
+func BenchmarkFig7bSplitUpThroughput(b *testing.B) { runFigure(b, "fig7b") }
+func BenchmarkFig8aSingleFileTPS(b *testing.B)     { runFigure(b, "fig8a") }
+func BenchmarkFig8bZipfTPS(b *testing.B)           { runFigure(b, "fig8b") }
+func BenchmarkFig9EmulatedClients(b *testing.B)    { runFigure(b, "fig9") }
+func BenchmarkFig10aPVFSRead6(b *testing.B)        { runFigure(b, "fig10a") }
+func BenchmarkFig10bPVFSRead5(b *testing.B)        { runFigure(b, "fig10b") }
+func BenchmarkFig11aPVFSWrite6(b *testing.B)       { runFigure(b, "fig11a") }
+func BenchmarkFig11bPVFSWrite5(b *testing.B)       { runFigure(b, "fig11b") }
+func BenchmarkFig12PVFSMultiStream(b *testing.B)   { runFigure(b, "fig12") }
+func BenchmarkAblRSS(b *testing.B)                 { runFigure(b, "ablrss") }
+func BenchmarkAblPinning(b *testing.B)             { runFigure(b, "ablpin") }
+func BenchmarkAblCoalescing(b *testing.B)          { runFigure(b, "ablcoal") }
+func BenchmarkExtThreeTier(b *testing.B)           { runFigure(b, "ext3tier") }
+func BenchmarkExtIPC(b *testing.B)                 { runFigure(b, "extipc") }

@@ -1,0 +1,61 @@
+// Command dcsim runs the two-tier data-center simulation (paper §5):
+// closed-loop clients -> Apache-like proxy -> static web tier, with the
+// tiers' I/OAT features switchable and single-file or Zipf workloads.
+//
+// Examples:
+//
+//	dcsim -size 4096 -ioat            # Fig. 8a's Trace 2 I/OAT point
+//	dcsim -files 1000 -alpha 0.9      # Fig. 8b's Zipf point
+//	dcsim -emulated 256 -size 16384   # Fig. 9's 256-thread point
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"ioatsim/internal/cost"
+	"ioatsim/internal/datacenter"
+	"ioatsim/internal/ioat"
+)
+
+func main() {
+	var (
+		useIOAT  = flag.Bool("ioat", false, "enable I/OAT on the server tiers")
+		nodes    = flag.Int("clients", 16, "client machines")
+		threads  = flag.Int("threads", 4, "request threads per client machine")
+		files    = flag.Int("files", 1, "catalog size")
+		size     = flag.Int("size", 4*cost.KB, "file size in bytes")
+		alpha    = flag.Float64("alpha", 0, "Zipf exponent (0 = single-file trace)")
+		cache    = flag.Int("cache", 0, "proxy content cache bytes (0 = off)")
+		emulated = flag.Int("emulated", 0, "run the emulated-clients setup with N threads instead")
+		meas     = flag.Duration("t", 240*time.Millisecond, "measured (virtual) duration")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	feat := ioat.None()
+	if *useIOAT {
+		feat = ioat.Linux()
+	}
+	o := datacenter.Options{
+		P: cost.Default(), Feat: feat, Seed: *seed,
+		ClientNodes: *nodes, ThreadsPerClient: *threads,
+		FileCount: *files, FileSize: *size, Alpha: *alpha,
+		CacheBytes: *cache, Meas: *meas,
+	}
+
+	if *emulated > 0 {
+		m := datacenter.RunEmulated(o, *emulated)
+		fmt.Printf("emulated clients=%d size=%d feat=%s\n", *emulated, *size, feat.Label())
+		fmt.Printf("TPS: %.0f (%d completed)\n", m.TPS, m.Completed)
+		fmt.Printf("CPU: client=%.1f%% web=%.1f%%\n", m.ClientCPU*100, m.WebCPU*100)
+		return
+	}
+
+	m := datacenter.RunTwoTier(o)
+	fmt.Printf("two-tier clients=%dx%d files=%d size=%d alpha=%.2f feat=%s\n",
+		*nodes, *threads, *files, *size, *alpha, feat.Label())
+	fmt.Printf("TPS: %.0f (%d completed)\n", m.TPS, m.Completed)
+	fmt.Printf("CPU: proxy=%.1f%% web=%.1f%%\n", m.ProxyCPU*100, m.WebCPU*100)
+}

@@ -1,0 +1,53 @@
+// Command ioatbench reproduces the paper's tables and figures.
+//
+// Usage:
+//
+//	ioatbench              # run every experiment
+//	ioatbench -run fig3a   # run one experiment
+//	ioatbench -list        # list experiment ids
+//	ioatbench -scale 0.25  # shorten runs (shape-preserving)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ioatsim/internal/bench"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "", "experiment id to run (default: all)")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+		scale = flag.Float64("scale", 1.0, "scale factor for run lengths and request counts")
+		seed  = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range bench.Experiments() {
+			fmt.Printf("%-8s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+
+	cfg := bench.Config{Seed: *seed, Scale: *scale}
+	runners := bench.Experiments()
+	if *run != "" {
+		r, ok := bench.Find(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ioatbench: unknown experiment %q (try -list)\n", *run)
+			os.Exit(1)
+		}
+		runners = []bench.Runner{r}
+	}
+
+	for _, r := range runners {
+		start := time.Now()
+		res := r.Run(cfg)
+		fmt.Println(res.String())
+		fmt.Printf("(%s ran in %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,64 @@
+// Datacenter runs the paper's §5 scenarios end to end: a Zipf-distributed
+// static-content workload through a proxy + web-server pair, then the
+// dynamic-content three-tier extension — all through the public API.
+//
+//	go run ./examples/datacenter
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"ioatsim"
+)
+
+func main() {
+	base := ioatsim.DataCenterOptions{
+		P:                ioatsim.DefaultParams(),
+		Seed:             1,
+		ClientNodes:      16,
+		ThreadsPerClient: 4,
+		FileCount:        500,
+		FileSize:         8 * ioatsim.KB,
+		Alpha:            0.9, // Breslau-style document popularity
+		Warm:             40 * time.Millisecond,
+		Meas:             160 * time.Millisecond,
+	}
+
+	fmt.Println("two-tier data-center, 64 clients, Zipf(0.9) over 500 x 8K documents:")
+	var plain ioatsim.DataCenterMetrics
+	for _, feat := range []ioatsim.Features{ioatsim.NonIOAT(), ioatsim.IOAT()} {
+		o := base
+		o.Feat = feat
+		m := ioatsim.RunDataCenter(o)
+		fmt.Printf("  %-10s TPS %8.0f   proxy CPU %5.1f%%   web CPU %5.1f%%\n",
+			feat.Label(), m.TPS, m.ProxyCPU*100, m.WebCPU*100)
+		if feat == ioatsim.NonIOAT() {
+			plain = m
+		} else {
+			fmt.Printf("  => %.1f%% more transactions with I/OAT\n",
+				(m.TPS-plain.TPS)/plain.TPS*100)
+		}
+	}
+
+	// The same tiers with the proxy content cache enabled: hits bypass
+	// the web tier entirely.
+	o := base
+	o.Feat = ioatsim.IOAT()
+	o.CacheBytes = 2 * ioatsim.MB
+	m := ioatsim.RunDataCenter(o)
+	fmt.Printf("\nwith a 2 MB proxy cache: TPS %8.0f   proxy CPU %5.1f%%   web CPU %5.1f%%\n",
+		m.TPS, m.ProxyCPU*100, m.WebCPU*100)
+	fmt.Println("(the web tier goes quiet as popular documents pin in the proxy cache)")
+
+	// The §5.1 dynamic-content class over the full three-tier layout.
+	fmt.Println("\nthree-tier dynamic content (3 DB queries per request):")
+	for _, feat := range []ioatsim.Features{ioatsim.NonIOAT(), ioatsim.IOAT()} {
+		to := ioatsim.ThreeTierOptions{Options: base}
+		to.Feat = feat
+		to.QueriesPerRequest = 3
+		tm := ioatsim.RunThreeTier(to)
+		fmt.Printf("  %-10s TPS %8.0f   app CPU %5.1f%%   db CPU %5.1f%%\n",
+			feat.Label(), tm.TPS, tm.AppCPU*100, tm.DBCPU*100)
+	}
+}

@@ -1,0 +1,3 @@
+module ioatsim
+
+go 1.22

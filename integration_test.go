@@ -1,0 +1,141 @@
+package ioatsim
+
+import (
+	"testing"
+	"time"
+
+	"ioatsim/internal/cost"
+	"ioatsim/internal/datacenter"
+	"ioatsim/internal/host"
+	"ioatsim/internal/ioat"
+	"ioatsim/internal/pvfs"
+	"ioatsim/internal/sim"
+	"ioatsim/internal/tcp"
+)
+
+// TestByteConservation checks that every byte a sender hands to the
+// transport is delivered exactly once across a mixed multi-stream run.
+func TestByteConservation(t *testing.T) {
+	cl, a, b := host.Testbed1(cost.Default(), ioat.Linux(), 1)
+	sizes := []int{1, 777, 4 * cost.KB, 100 * cost.KB, 3 * cost.MB}
+	var want int64
+	for i, n := range sizes {
+		n := n
+		want += int64(n)
+		ca, cb := tcp.Pair(a.Stack, b.Stack, i%6, i%6)
+		src, dst := a.Buf(64*cost.KB), b.Buf(64*cost.KB)
+		cl.S.Spawn("tx", func(p *sim.Proc) { ca.Send(p, src, n) })
+		cl.S.Spawn("rx", func(p *sim.Proc) { cb.Recv(p, dst, n) })
+	}
+	cl.S.Run()
+	if a.Stack.BytesSent != want || b.Stack.BytesReceived != want {
+		t.Fatalf("sent %d received %d, want %d",
+			a.Stack.BytesSent, b.Stack.BytesReceived, want)
+	}
+	if live := b.NIC.PoolLiveBytes(); live != 0 {
+		t.Fatalf("kernel buffers leaked: %d bytes", live)
+	}
+}
+
+// TestCrossDomainSharedSimulator runs the data-center and PVFS stacks in
+// one simulation to make sure nothing relies on process-global state.
+func TestCrossDomainSharedSimulator(t *testing.T) {
+	cl := host.NewCluster(cost.Default(), 1)
+	compute := cl.Add("compute", ioat.Linux(), 6)
+	server := cl.Add("server", ioat.Linux(), 6)
+	sys := pvfs.New(server, 3, 0)
+
+	var readDone, echoed bool
+	cl.S.Spawn("pvfs-user", func(p *sim.Proc) {
+		c := pvfs.NewClient(p, compute, sys)
+		m := c.Create(p, "x", 2*cost.MB)
+		buf := compute.Buf(2 * cost.MB)
+		c.Read(p, m, 0, 2*cost.MB, buf)
+		readDone = true
+	})
+	// A raw TCP echo on the same two nodes, different port.
+	l := server.Stack.Listen("echo")
+	cl.S.Spawn("echo-server", func(p *sim.Proc) {
+		c := l.Accept(p)
+		dst := server.Buf(8 * cost.KB)
+		c.Recv(p, dst, 8*cost.KB)
+		c.Send(p, dst, 8*cost.KB)
+	})
+	cl.S.Spawn("echo-client", func(p *sim.Proc) {
+		c := compute.Stack.Dial(p, server.Stack, "echo", 5, 5)
+		buf := compute.Buf(8 * cost.KB)
+		c.Send(p, buf, 8*cost.KB)
+		c.Recv(p, buf, 8*cost.KB)
+		echoed = true
+	})
+	cl.S.Run()
+	if !readDone || !echoed {
+		t.Fatalf("readDone=%v echoed=%v", readDone, echoed)
+	}
+}
+
+// TestEndToEndDeterminism runs a full data-center experiment twice and
+// demands bit-identical metrics.
+func TestEndToEndDeterminism(t *testing.T) {
+	o := datacenter.Options{
+		Feat: ioat.Linux(), Seed: 42,
+		ClientNodes: 4, ThreadsPerClient: 2,
+		FileCount: 50, FileSize: 4 * cost.KB, Alpha: 0.9,
+		Warm: 10 * time.Millisecond, Meas: 25 * time.Millisecond,
+	}
+	a := datacenter.RunTwoTier(o)
+	b := datacenter.RunTwoTier(o)
+	if a != b {
+		t.Fatalf("nondeterministic end-to-end run:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestSeedChangesZipfRun makes sure the seed actually feeds the workload.
+func TestSeedChangesZipfRun(t *testing.T) {
+	run := func(seed uint64) datacenter.Metrics {
+		return datacenter.RunTwoTier(datacenter.Options{
+			Feat: ioat.Linux(), Seed: seed,
+			ClientNodes: 4, ThreadsPerClient: 2,
+			FileCount: 50, FileSize: 4 * cost.KB, Alpha: 0.9,
+			Warm: 10 * time.Millisecond, Meas: 25 * time.Millisecond,
+		})
+	}
+	if run(1) == run(2) {
+		t.Fatal("different seeds produced identical metrics (suspicious)")
+	}
+}
+
+// TestFeatureMatrix exercises every feature combination end to end: all
+// must deliver the stream, and the full set must not use more CPU than
+// the empty set.
+func TestFeatureMatrix(t *testing.T) {
+	feats := []ioat.Features{
+		ioat.None(),
+		{DMACopy: true},
+		{SplitHeader: true},
+		{MultiQueue: true},
+		ioat.Linux(),
+		ioat.Full(),
+	}
+	var busies []time.Duration
+	for _, f := range feats {
+		cl, a, b := host.Testbed1(cost.Default(), f, 1)
+		ca, cb := tcp.Pair(a.Stack, b.Stack, 0, 0)
+		src, dst := a.Buf(64*cost.KB), b.Buf(64*cost.KB)
+		okc := false
+		cl.S.Spawn("tx", func(p *sim.Proc) { ca.Send(p, src, 4*cost.MB) })
+		cl.S.Spawn("rx", func(p *sim.Proc) {
+			cb.Recv(p, dst, 4*cost.MB)
+			okc = true
+		})
+		cl.S.Run()
+		if !okc {
+			t.Fatalf("feature set %+v failed to deliver", f)
+		}
+		busies = append(busies, b.CPU.BusyTime())
+	}
+	if busies[len(busies)-1] >= busies[0] {
+		t.Fatalf("full I/OAT (%v) not below non-I/OAT (%v)",
+			busies[len(busies)-1], busies[0])
+	}
+}

@@ -1,0 +1,209 @@
+// Package bench implements one experiment per table/figure of the
+// paper's evaluation (§4 micro-benchmarks, §5 data-center, §6 PVFS),
+// plus the ablation studies DESIGN.md lists. Each experiment returns a
+// Result whose Series renders as a text table mirroring the figure.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"ioatsim/internal/cost"
+	"ioatsim/internal/host"
+	"ioatsim/internal/ioat"
+	"ioatsim/internal/sim"
+	"ioatsim/internal/stats"
+	"ioatsim/internal/tcp"
+)
+
+// Config scales the experiments. Scale < 1 shortens runs and request
+// counts proportionally (used by `go test` so the full suite stays
+// fast); Scale = 1 reproduces the paper-sized runs.
+type Config struct {
+	Seed  uint64
+	Scale float64
+}
+
+// DefaultConfig runs paper-sized experiments.
+func DefaultConfig() Config { return Config{Seed: 1, Scale: 1} }
+
+// duration scales a nominal measurement window.
+func (c Config) duration(d time.Duration) time.Duration {
+	if c.Scale <= 0 || c.Scale == 1 {
+		return d
+	}
+	scaled := time.Duration(float64(d) * c.Scale)
+	if scaled < time.Millisecond {
+		scaled = time.Millisecond
+	}
+	return scaled
+}
+
+// count scales a nominal request count.
+func (c Config) count(n int) int {
+	if c.Scale <= 0 || c.Scale == 1 {
+		return n
+	}
+	scaled := int(float64(n) * c.Scale)
+	if scaled < 10 {
+		scaled = 10
+	}
+	return scaled
+}
+
+// Result is one reproduced figure.
+type Result struct {
+	ID     string
+	Title  string
+	Series *stats.Series
+	Notes  []string
+}
+
+// String renders the result as a table plus notes.
+func (r *Result) String() string {
+	out := r.Series.Table()
+	for _, n := range r.Notes {
+		out += "note: " + n + "\n"
+	}
+	return out
+}
+
+// Runner is a registered experiment.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func(Config) *Result
+}
+
+// Experiments lists every reproducible figure in paper order.
+func Experiments() []Runner {
+	return []Runner{
+		{"fig3a", "Bandwidth vs. ports", Fig3a},
+		{"fig3b", "Bi-directional bandwidth vs. ports", Fig3b},
+		{"fig4", "Multi-stream bandwidth vs. threads", Fig4},
+		{"fig5a", "Sender-side optimizations: bandwidth", Fig5a},
+		{"fig5b", "Sender-side optimizations: bi-directional", Fig5b},
+		{"fig6", "CPU-based copy vs. DMA-based copy", Fig6},
+		{"fig7a", "I/OAT split-up: CPU benefit (16K-128K)", Fig7a},
+		{"fig7b", "I/OAT split-up: throughput (1M-8M)", Fig7b},
+		{"fig8a", "Data-center TPS: single-file traces", Fig8a},
+		{"fig8b", "Data-center TPS: Zipf traces", Fig8b},
+		{"fig9", "Data-center TPS vs. emulated clients", Fig9},
+		{"fig10a", "PVFS concurrent read, 6 I/O servers", Fig10a},
+		{"fig10b", "PVFS concurrent read, 5 I/O servers", Fig10b},
+		{"fig11a", "PVFS concurrent write, 6 I/O servers", Fig11a},
+		{"fig11b", "PVFS concurrent write, 5 I/O servers", Fig11b},
+		{"fig12", "PVFS multi-stream read", Fig12},
+		{"ablrss", "Ablation: multiple receive queues", AblRSS},
+		{"ablpin", "Ablation: page-pinning cost vs. DMA benefit", AblPin},
+		{"ablcoal", "Ablation: interrupt coalescing budget", AblCoal},
+		{"ext3tier", "Extension: 3-tier dynamic-content data-center", Ext3Tier},
+		{"extipc", "Extension: intra-node IPC via the copy engine", ExtIPC},
+	}
+}
+
+// Find returns the runner with the given id.
+func Find(id string) (Runner, bool) {
+	for _, r := range Experiments() {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// ---- shared traffic machinery for the micro-benchmarks ----
+
+// stream is one unidirectional ttcp-style flow.
+type stream struct {
+	from, to         *host.Node
+	portFrom, portTo int
+	msg              int
+	opts             tcp.SendOptions
+}
+
+// launch starts the stream's sender and receiver processes; they run
+// until the simulation stops.
+func (sp stream) launch() {
+	s := sp.from.S
+	ca, cb := tcp.Pair(sp.from.Stack, sp.to.Stack, sp.portFrom, sp.portTo)
+	src := sp.from.Buf(minI(sp.msg, 256*cost.KB))
+	dst := sp.to.Buf(minI(sp.msg, 256*cost.KB))
+	sp.from.CPU.RegisterThread()
+	s.Spawn(fmt.Sprintf("tx-%s-%d", sp.from.Name, sp.portFrom), func(p *sim.Proc) {
+		for {
+			ca.SendOpts(p, src, sp.msg, sp.opts)
+		}
+	})
+	sp.to.CPU.RegisterThread()
+	s.Spawn(fmt.Sprintf("rx-%s-%d", sp.to.Name, sp.portTo), func(p *sim.Proc) {
+		for {
+			cb.Recv(p, dst, sp.msg)
+		}
+	})
+}
+
+// microResult captures one measured configuration.
+type microResult struct {
+	mbps    float64 // goodput delivered during the window
+	cpuRecv float64 // receiver-node utilization (0..1)
+	cpuSend float64 // sender-node utilization (0..1)
+}
+
+// runMicro builds Testbed 1 with the given features and parameters,
+// launches the streams, and measures goodput at the stream receivers and
+// CPU on both nodes over the measurement window.
+func runMicro(p *cost.Params, feat ioat.Features, cfg Config,
+	build func(a, b *host.Node) []stream) microResult {
+	return runMicroWith(p, feat, cfg, build, nil)
+}
+
+// runMicroWith is runMicro with a hook that runs at the end of the
+// measurement window, before the cluster is discarded — for collecting
+// extra metrics such as per-core utilization.
+func runMicroWith(p *cost.Params, feat ioat.Features, cfg Config,
+	build func(a, b *host.Node) []stream, post func(a, b *host.Node)) microResult {
+	cl, a, b := host.Testbed1(p, feat, cfg.Seed)
+	streams := build(a, b)
+	for _, sp := range streams {
+		sp.launch()
+	}
+	warm := cfg.duration(40 * time.Millisecond)
+	meas := cfg.duration(160 * time.Millisecond)
+
+	cl.S.RunUntil(sim.Time(warm))
+	cl.ResetMeters()
+	recvMark := map[*host.Node]int64{}
+	for _, n := range cl.Nodes {
+		recvMark[n] = n.Stack.BytesReceived
+	}
+	cl.S.RunUntil(sim.Time(warm + meas))
+
+	// Goodput is summed over the nodes that receive stream traffic.
+	var rxBytes int64
+	seen := map[*host.Node]bool{}
+	for _, sp := range streams {
+		if !seen[sp.to] {
+			seen[sp.to] = true
+			rxBytes += sp.to.Stack.BytesReceived - recvMark[sp.to]
+		}
+	}
+	mbps := float64(rxBytes*8) / meas.Seconds() / 1e6
+	if post != nil {
+		post(a, b)
+	}
+	return microResult{
+		mbps:    mbps,
+		cpuRecv: b.CPU.Utilization(),
+		cpuSend: a.CPU.Utilization(),
+	}
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func pct(x float64) float64 { return x * 100 }

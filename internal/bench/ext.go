@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"time"
+
+	"ioatsim/internal/cost"
+	"ioatsim/internal/datacenter"
+	"ioatsim/internal/host"
+	"ioatsim/internal/ioat"
+	"ioatsim/internal/ipc"
+	"ioatsim/internal/sim"
+	"ioatsim/internal/stats"
+)
+
+// Ext3Tier evaluates the paper's third workload class (§5.1, "dynamic
+// content ... via CGI, PHP and Java servlets with a back-end database"),
+// which the paper describes but does not measure: a full three-tier
+// data-center (proxy -> application servers -> database) swept over the
+// number of database queries per request.
+func Ext3Tier(cfg Config) *Result {
+	series := stats.NewSeries("Extension: 3-tier dynamic content", "DB queries/req",
+		"non-I/OAT TPS", "I/OAT TPS", "TPS benefit%", "app CPU%", "db CPU%")
+	for _, queries := range []int{1, 3, 5} {
+		run := func(feat ioat.Features) datacenter.ThreeTierMetrics {
+			o := datacenter.ThreeTierOptions{Options: dcOptions(cfg, feat)}
+			o.QueriesPerRequest = queries
+			o.ResponseBytes = 8 * cost.KB
+			return datacenter.RunThreeTier(o)
+		}
+		plain := run(ioat.None())
+		accel := run(ioat.Linux())
+		series.Add(float64(queries), "",
+			plain.TPS, accel.TPS, pct(gain(plain.TPS, accel.TPS)),
+			pct(accel.AppCPU), pct(accel.DBCPU))
+	}
+	return &Result{ID: "ext3tier", Title: "Extension: 3-tier dynamic content", Series: series,
+		Notes: []string{"the paper's §5.1 third workload class, not measured there: I/OAT helps the inter-tier hops"}}
+}
+
+// ExtIPC evaluates the paper's §7 intra-node use of the copy engine:
+// shared-memory message passing between two processes, CPU copies vs
+// engine copies, across message sizes.
+func ExtIPC(cfg Config) *Result {
+	series := stats.NewSeries("Extension: intra-node IPC via the copy engine", "Size",
+		"CPU-copy MB/s", "engine MB/s", "CPU-copy cpu%", "engine cpu%")
+	for _, size := range []int{4 * cost.KB, 16 * cost.KB, 64 * cost.KB} {
+		run := func(mode ipc.Mode) (float64, float64) {
+			cl := host.NewCluster(cost.Default(), cfg.Seed)
+			n := cl.Add("n", ioat.Linux(), 1)
+			ch := ipc.New(n, size, 16)
+			ch.Mode = mode
+			src := n.Buf(size)
+			dst := n.Buf(size)
+			cl.S.Spawn("producer", func(p *sim.Proc) {
+				for {
+					ch.Send(p, src, size)
+				}
+			})
+			cl.S.Spawn("consumer", func(p *sim.Proc) {
+				for {
+					ch.Recv(p, dst)
+				}
+			})
+			meas := cfg.duration(20 * time.Millisecond)
+			cl.S.RunUntil(sim.Time(meas / 4))
+			cl.ResetMeters()
+			mark := ch.Bytes
+			cl.S.RunUntil(sim.Time(meas/4 + meas))
+			mbps := float64(ch.Bytes-mark) / meas.Seconds() / 1e6
+			return mbps, n.CPU.Utilization()
+		}
+		cpuMBps, cpuUtil := run(ipc.CPUCopy)
+		engMBps, engUtil := run(ipc.EngineCopy)
+		series.Add(float64(size), sizeLabel(size),
+			cpuMBps, engMBps, pct(cpuUtil), pct(engUtil))
+	}
+	return &Result{ID: "extipc", Title: "Extension: intra-node IPC", Series: series,
+		Notes: []string{
+			"the paper's §7 proposal, quantified: the engine cannot beat hot-cache memcpy bandwidth (Fig. 6's copy-cache result),",
+			"but it runs the channel at a fraction of the CPU — the freed cycles are the point, exactly as on the network path",
+		}}
+}

@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"time"
+
+	"ioatsim/internal/cost"
+	"ioatsim/internal/host"
+	"ioatsim/internal/ioat"
+	"ioatsim/internal/sim"
+	"ioatsim/internal/stats"
+)
+
+// fig6Feat is the platform configuration for the copy study; the features
+// only matter in that the node must have a copy engine.
+var fig6Feat = ioat.Linux()
+
+// Fig6 reproduces Figure 6: the cost of moving 1K..64K bytes with a CPU
+// copy (source/destination cached vs. uncached) against the DMA engine
+// (total time, CPU-visible startup overhead, and the overlappable
+// fraction).
+func Fig6(cfg Config) *Result {
+	series := stats.NewSeries("Fig 6: CPU copy vs DMA copy", "Size",
+		"copy-cache us", "copy-nocache us", "DMA-copy us", "DMA-overhead us", "overlap%")
+
+	cl, node, _ := host.Testbed1(cost.Default(), fig6Feat, cfg.Seed)
+	type row struct {
+		size                               int
+		cached, uncached, dmaTotal, dmaCPU time.Duration
+	}
+	var rows []row
+	cl.S.Spawn("fig6", func(p *sim.Proc) {
+		for size := 1 * cost.KB; size <= 64*cost.KB; size *= 2 {
+			// copy-cache: warm both buffers first.
+			src := node.Buf(size)
+			dst := node.Buf(size)
+			node.CPU.Exec(p, node.Mem.TouchCost(src.Addr, size))
+			node.CPU.Exec(p, node.Mem.TouchCost(dst.Addr, size))
+			cached := node.Copier.CopySync(p, src.Addr, dst.Addr, size)
+
+			// copy-nocache: fresh, never-touched buffers.
+			csrc := node.Buf(size)
+			cdst := node.Buf(size)
+			uncached := node.Copier.CopySync(p, csrc.Addr, cdst.Addr, size)
+
+			// DMA copy: CPU-visible setup, engine transfer. A warm-up
+			// round registers (pins) the buffers, as a steady-state
+			// application would; the measured round pays descriptor
+			// setup only.
+			dsrc := node.Buf(size)
+			ddst := node.Buf(size)
+			node.Copier.Start(p, dsrc.Addr, ddst.Addr, size).Wait(p)
+			start := p.Now()
+			busy0 := node.CPU.BusyTime()
+			done := node.Copier.Start(p, dsrc.Addr, ddst.Addr, size)
+			dmaCPU := node.CPU.BusyTime() - busy0
+			done.Wait(p)
+			dmaTotal := p.Now().Sub(start)
+
+			rows = append(rows, row{size, cached, uncached, dmaTotal, dmaCPU})
+		}
+	})
+	cl.S.Run()
+
+	for _, r := range rows {
+		overlap := 0.0
+		if r.dmaTotal > 0 {
+			overlap = float64(r.dmaTotal-r.dmaCPU) / float64(r.dmaTotal)
+		}
+		series.Add(float64(r.size), sizeLabel(r.size),
+			us(r.cached), us(r.uncached), us(r.dmaTotal), us(r.dmaCPU), pct(overlap))
+	}
+	return &Result{ID: "fig6", Title: "CPU-based copy vs DMA-based copy", Series: series,
+		Notes: []string{
+			"paper: DMA beats copy-nocache above 8K; overlap reaches ~93% at 64K",
+			"paper: DMA startup overhead stays below the CPU copy time",
+		}}
+}
+
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+func sizeLabel(n int) string {
+	switch {
+	case n >= cost.MB:
+		return itoa(n/cost.MB) + "M"
+	case n >= cost.KB:
+		return itoa(n/cost.KB) + "K"
+	default:
+		return itoa(n)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

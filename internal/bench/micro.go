@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"fmt"
+
+	"ioatsim/internal/cost"
+	"ioatsim/internal/host"
+	"ioatsim/internal/ioat"
+	"ioatsim/internal/stats"
+)
+
+// Fig3a reproduces Figure 3a: unidirectional bandwidth and receiver CPU
+// utilization as the number of 1-GbE ports grows from one to six, with
+// one ttcp stream per port (64 KB messages).
+func Fig3a(cfg Config) *Result {
+	series := stats.NewSeries("Fig 3a: Bandwidth", "Ports",
+		"non-I/OAT Mbps", "I/OAT Mbps", "non-I/OAT CPU%", "I/OAT CPU%", "rel CPU benefit%")
+	for ports := 1; ports <= 6; ports++ {
+		build := func(a, b *host.Node) []stream {
+			var ss []stream
+			for i := 0; i < ports; i++ {
+				ss = append(ss, stream{from: a, to: b, portFrom: i, portTo: i, msg: 64 * cost.KB})
+			}
+			return ss
+		}
+		plain := runMicro(cost.Default(), ioat.None(), cfg, build)
+		accel := runMicro(cost.Default(), ioat.Linux(), cfg, build)
+		series.Add(float64(ports), "",
+			plain.mbps, accel.mbps, pct(plain.cpuRecv), pct(accel.cpuRecv),
+			pct(stats.RelativeBenefit(plain.cpuRecv, accel.cpuRecv)))
+	}
+	return &Result{ID: "fig3a", Title: "Bandwidth vs. ports", Series: series,
+		Notes: []string{"paper: ~5635 Mbps at 6 ports; CPU 37% vs 29% (~21% relative)"}}
+}
+
+// Fig3b reproduces Figure 3b: bi-directional bandwidth with N streams in
+// each direction over N ports, and the CPU utilization of one node.
+func Fig3b(cfg Config) *Result {
+	series := stats.NewSeries("Fig 3b: Bi-directional Bandwidth", "Ports",
+		"non-I/OAT Mbps", "I/OAT Mbps", "non-I/OAT CPU%", "I/OAT CPU%", "rel CPU benefit%")
+	for ports := 1; ports <= 6; ports++ {
+		build := func(a, b *host.Node) []stream {
+			var ss []stream
+			for i := 0; i < ports; i++ {
+				ss = append(ss,
+					stream{from: a, to: b, portFrom: i, portTo: i, msg: 64 * cost.KB},
+					stream{from: b, to: a, portFrom: i, portTo: i, msg: 64 * cost.KB})
+			}
+			return ss
+		}
+		plain := runMicro(cost.Default(), ioat.None(), cfg, build)
+		accel := runMicro(cost.Default(), ioat.Linux(), cfg, build)
+		series.Add(float64(ports), "",
+			plain.mbps, accel.mbps, pct(plain.cpuRecv), pct(accel.cpuRecv),
+			pct(stats.RelativeBenefit(plain.cpuRecv, accel.cpuRecv)))
+	}
+	return &Result{ID: "fig3b", Title: "Bi-directional bandwidth vs. ports", Series: series,
+		Notes: []string{"paper: ~9600 Mbps at 6 ports; CPU ~90% vs ~70% (~22% relative)"}}
+}
+
+// Fig4 reproduces Figure 4: multi-stream bandwidth with 1..12 receiver
+// threads on one node (16 KB messages, threads round-robin over the six
+// ports).
+func Fig4(cfg Config) *Result {
+	series := stats.NewSeries("Fig 4: Multi-Stream Bandwidth", "Threads",
+		"non-I/OAT Mbps", "I/OAT Mbps", "non-I/OAT CPU%", "I/OAT CPU%", "rel CPU benefit%")
+	for _, threads := range []int{1, 2, 4, 6, 8, 10, 12} {
+		build := func(a, b *host.Node) []stream {
+			var ss []stream
+			for i := 0; i < threads; i++ {
+				ss = append(ss, stream{from: a, to: b, portFrom: i % 6, portTo: i % 6, msg: 16 * cost.KB})
+			}
+			return ss
+		}
+		plain := runMicro(cost.Default(), ioat.None(), cfg, build)
+		accel := runMicro(cost.Default(), ioat.Linux(), cfg, build)
+		series.Add(float64(threads), "",
+			plain.mbps, accel.mbps, pct(plain.cpuRecv), pct(accel.cpuRecv),
+			pct(stats.RelativeBenefit(plain.cpuRecv, accel.cpuRecv)))
+	}
+	return &Result{ID: "fig4", Title: "Multi-stream bandwidth vs. threads", Series: series,
+		Notes: []string{"paper: at 12 threads CPU 76% vs 52% (~32% relative); non-I/OAT throughput degrades"}}
+}
+
+// socketCase is one of Figure 5's cumulative sender-side optimizations.
+type socketCase struct {
+	name string
+	p    func() *cost.Params
+}
+
+// socketCases builds the paper's Case 1..5 parameter sets: default,
+// +1 MB socket buffers, +TSO, +jumbo frames (MTU 2048), +interrupt
+// coalescing.
+func socketCases() []socketCase {
+	c1 := func() *cost.Params {
+		p := cost.Default()
+		p.SockBuf = 64 * cost.KB
+		p.CoalesceFrames = 2
+		return p
+	}
+	c2 := func() *cost.Params { p := c1(); p.SockBuf = cost.MB; return p }
+	c3 := func() *cost.Params { p := c2(); p.TSO = true; return p }
+	c4 := func() *cost.Params { p := c3(); p.MTU = 2048; return p }
+	c5 := func() *cost.Params { p := c4(); p.CoalesceFrames = 16; return p }
+	return []socketCase{
+		{"Case 1 (default)", c1},
+		{"Case 2 (+1M sockbuf)", c2},
+		{"Case 3 (+TSO)", c3},
+		{"Case 4 (+jumbo)", c4},
+		{"Case 5 (+coalescing)", c5},
+	}
+}
+
+// Fig5a reproduces Figure 5a: unidirectional bandwidth under the
+// cumulative sender-side optimizations.
+func Fig5a(cfg Config) *Result {
+	return fig5(cfg, false, "fig5a", "Fig 5a: Optimizations, Bandwidth",
+		"paper: Case 5 ~5586 vs ~5514 Mbps; Case 4 relative CPU benefit ~30%")
+}
+
+// Fig5b reproduces Figure 5b: bi-directional bandwidth under the same
+// optimizations; Case 4 shows the paper's headline 38% relative benefit.
+func Fig5b(cfg Config) *Result {
+	return fig5(cfg, true, "fig5b", "Fig 5b: Optimizations, Bi-directional Bandwidth",
+		"paper: Case 4 relative CPU benefit ~38% (headline number)")
+}
+
+func fig5(cfg Config, bidir bool, id, title, note string) *Result {
+	series := stats.NewSeries(title, "Case",
+		"non-I/OAT Mbps", "I/OAT Mbps", "non-I/OAT CPU%", "I/OAT CPU%", "rel CPU benefit%")
+	for i, sc := range socketCases() {
+		build := func(a, b *host.Node) []stream {
+			var ss []stream
+			for port := 0; port < 6; port++ {
+				ss = append(ss, stream{from: a, to: b, portFrom: port, portTo: port, msg: 64 * cost.KB})
+				if bidir {
+					ss = append(ss, stream{from: b, to: a, portFrom: port, portTo: port, msg: 64 * cost.KB})
+				}
+			}
+			return ss
+		}
+		plain := runMicro(sc.p(), ioat.None(), cfg, build)
+		accel := runMicro(sc.p(), ioat.Linux(), cfg, build)
+		series.Add(float64(i+1), fmt.Sprintf("Case %d", i+1),
+			plain.mbps, accel.mbps, pct(plain.cpuRecv), pct(accel.cpuRecv),
+			pct(stats.RelativeBenefit(plain.cpuRecv, accel.cpuRecv)))
+	}
+	return &Result{ID: id, Title: title, Series: series, Notes: []string{note}}
+}

@@ -1,0 +1,226 @@
+// Package cost centralizes every calibrated constant of the simulation's
+// cost model. The anchors are the paper's Testbed 1 (dual-core dual Xeon
+// 3.46 GHz, 2 MB L2, Intel PRO/1000 ports) and the TCP/IP packet-cost
+// literature the paper cites (Clark et al.; Makineni & Iyer, HPCA-10;
+// Regnier et al., IEEE Computer Nov'04). Constants were tuned so that the
+// micro-benchmark endpoints of Fig. 3a and Fig. 6 match the paper; all
+// other figures are left to emerge from the model.
+package cost
+
+import "time"
+
+// Byte-size units.
+const (
+	KB = 1 << 10
+	MB = 1 << 20
+	GB = 1 << 30
+)
+
+// Params is the complete tunable cost model. Experiments copy Default()
+// and adjust (socket buffer, MTU, TSO, coalescing) per scenario.
+type Params struct {
+	// ---- CPU & scheduling ----
+
+	// Cores is the number of cores per node (dual-core dual Xeon).
+	Cores int
+	// ContextSwitch is charged each time a blocked thread is woken.
+	ContextSwitch time.Duration
+	// CSIndirect is the additional per-wake cost paid for every full
+	// multiple of oversubscription (runnable threads beyond the core
+	// count): cold caches and scheduler queueing make context switches
+	// far more expensive on a loaded machine. This is what limits how
+	// many concurrent threads a server sustains (paper §5.2.3).
+	CSIndirect time.Duration
+	// Syscall is the fixed kernel-entry cost of send/recv/accept.
+	Syscall time.Duration
+
+	// ---- Memory hierarchy ----
+
+	// CacheSize/CacheLine/CacheWays describe the node's L2 (2 MB, 64 B,
+	// 8-way), the cache whose pollution the split-header feature avoids.
+	CacheSize int
+	CacheLine int
+	CacheWays int
+	// StreamHit/StreamMiss price one cache-line access during a bulk
+	// (hardware-prefetched) copy: a 64 KB in-cache memcpy lands near
+	// 8 GB/s, an out-of-cache one near 1.5 GB/s, matching Fig. 6.
+	StreamHit  time.Duration
+	StreamMiss time.Duration
+	// RandHit/RandMiss price one dependent (non-streamed) line access,
+	// e.g. protocol header and connection-state reads.
+	RandHit  time.Duration
+	RandMiss time.Duration
+
+	// ---- I/OAT DMA copy engine ----
+
+	// DMABytesPerSec is the engine's copy bandwidth (~2.6 GB/s puts the
+	// CPU-copy crossover at 8 KB as in Fig. 6).
+	DMABytesPerSec int64
+	// DMAStartup is the CPU cost to set up one transfer (descriptor
+	// write + doorbell).
+	DMAStartup time.Duration
+	// DMAPerPage is the CPU cost per 4 KB page of a transfer: physical
+	// pages are discontiguous, so each page needs its own descriptor
+	// (paper §2.2.2).
+	DMAPerPage time.Duration
+	// PinPerPage is the CPU cost to pin one user page before the engine
+	// may touch it (paper §7's caveat).
+	PinPerPage time.Duration
+	// DMAFrameSubmit is the per-frame CPU cost of handing one received
+	// frame's payload to the copy engine (the net_dma per-skb submit).
+	DMAFrameSubmit time.Duration
+	// PageSize is the virtual-memory page size.
+	PageSize int
+
+	// ---- NIC & per-frame protocol costs ----
+
+	// FrameWireOverhead is the on-wire overhead of one frame: preamble,
+	// Ethernet header+FCS, inter-frame gap, IP and TCP headers.
+	FrameWireOverhead int
+	// HeaderBytes is the in-memory protocol header size per frame.
+	HeaderBytes int
+	// Intr is the cost of taking one receive interrupt.
+	Intr time.Duration
+	// CoalesceFrames is how many back-to-back frames one interrupt
+	// covers (driver default; the Case-5 optimization raises it).
+	CoalesceFrames int
+	// FrameProc is the fixed per-frame driver + TCP/IP processing cost,
+	// excluding the header-memory accesses priced through the cache.
+	FrameProc time.Duration
+	// HeaderLines is the number of header cache lines touched per frame.
+	HeaderLines int
+	// ConnStateLines is the number of connection-state cache lines
+	// touched per frame.
+	ConnStateLines int
+	// BufMgmt is the per-frame kernel buffer alloc/free cost.
+	BufMgmt time.Duration
+	// AckProc is the sender-side cost of processing one delayed ACK
+	// (the receiver acknowledges every second frame).
+	AckProc time.Duration
+	// TxFrame is the per-frame sender cost (segmentation + driver) when
+	// the host CPU segments.
+	TxFrame time.Duration
+	// TSOFrame is the residual per-frame sender cost when the NIC
+	// segments (TSO enabled).
+	TSOFrame time.Duration
+	// TxCompleteFrame is the per-frame transmit-completion cost (IRQ +
+	// skb free), charged to the interrupt core.
+	TxCompleteFrame time.Duration
+	// RxBufSize is the size of one kernel receive buffer (slab object).
+	RxBufSize int
+	// HeaderRingBytes is the split-header ring size: small enough to
+	// stay cache-resident, which is the point of the feature.
+	HeaderRingBytes int
+	// EvictPenalty is the per-line cost charged to the receive path when
+	// a full-packet direct-cache placement (I/OAT without split headers)
+	// evicts a valid line: the displaced line's writeback plus its
+	// owner's eventual re-fetch. This is the "cache pollution" of the
+	// paper's §2.2.1, priced per eviction.
+	EvictPenalty time.Duration
+
+	// ---- Sockets / transport ----
+
+	// SockBuf is the socket buffer (flow-control window) size.
+	SockBuf int
+	// MTU is the maximum transmission unit (1500; Case 4 raises it).
+	MTU int
+	// ChunkMax is the largest burst simulated as one event.
+	ChunkMax int
+	// TSO reports whether transmit segmentation is offloaded.
+	TSO bool
+
+	// ---- Link fabric ----
+
+	// PortRateBps is one port's line rate (1 Gb/s).
+	PortRateBps int64
+	// PropDelay is switch + propagation latency per chunk.
+	PropDelay time.Duration
+}
+
+// Default returns the calibrated Testbed-1 parameter set.
+func Default() *Params {
+	return &Params{
+		Cores:         4,
+		ContextSwitch: 1200 * time.Nanosecond,
+		CSIndirect:    3 * time.Microsecond,
+		Syscall:       900 * time.Nanosecond,
+
+		CacheSize:  2 * MB,
+		CacheLine:  64,
+		CacheWays:  8,
+		StreamHit:  4 * time.Nanosecond,
+		StreamMiss: 25 * time.Nanosecond,
+		RandHit:    4 * time.Nanosecond,
+		RandMiss:   90 * time.Nanosecond,
+
+		DMABytesPerSec: 2600 * 1000 * 1000,
+		DMAStartup:     1800 * time.Nanosecond,
+		DMAPerPage:     40 * time.Nanosecond,
+		PinPerPage:     150 * time.Nanosecond,
+		DMAFrameSubmit: 150 * time.Nanosecond,
+		PageSize:       4 * KB,
+
+		FrameWireOverhead: 90,
+		HeaderBytes:       66,
+		Intr:              2200 * time.Nanosecond,
+		CoalesceFrames:    4,
+		FrameProc:         950 * time.Nanosecond,
+		HeaderLines:       2,
+		ConnStateLines:    2,
+		BufMgmt:           300 * time.Nanosecond,
+		AckProc:           300 * time.Nanosecond,
+		TxFrame:           650 * time.Nanosecond,
+		TSOFrame:          80 * time.Nanosecond,
+		TxCompleteFrame:   500 * time.Nanosecond,
+		RxBufSize:         2 * KB,
+		HeaderRingBytes:   64 * KB,
+		EvictPenalty:      70 * time.Nanosecond,
+
+		SockBuf:  256 * KB,
+		MTU:      1500,
+		ChunkMax: 64 * KB,
+		TSO:      false,
+
+		PortRateBps: 1000 * 1000 * 1000,
+		PropDelay:   2 * time.Microsecond,
+	}
+}
+
+// Clone returns a copy that experiments may mutate independently.
+func (p *Params) Clone() *Params {
+	q := *p
+	return &q
+}
+
+// MSS returns the TCP payload per frame for the configured MTU
+// (IP + TCP headers with options take 52 bytes).
+func (p *Params) MSS() int { return p.MTU - 52 }
+
+// Frames returns the number of wire frames needed for n payload bytes.
+func (p *Params) Frames(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	mss := p.MSS()
+	return (n + mss - 1) / mss
+}
+
+// WireBytes returns the on-wire size of n payload bytes including
+// all per-frame overheads.
+func (p *Params) WireBytes(n int) int {
+	return n + p.Frames(n)*p.FrameWireOverhead
+}
+
+// WireTime returns the serialization time of n payload bytes on one port.
+func (p *Params) WireTime(n int) time.Duration {
+	bits := int64(p.WireBytes(n)) * 8
+	return time.Duration(bits * int64(time.Second) / p.PortRateBps)
+}
+
+// Pages returns the number of pages spanned by an n-byte buffer.
+func (p *Params) Pages(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + p.PageSize - 1) / p.PageSize
+}

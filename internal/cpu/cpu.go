@@ -1,0 +1,206 @@
+// Package cpu models a node's processor: a fixed set of cores executing
+// non-preemptive work items from per-core FIFO queues, with busy-time
+// accounting that yields exactly the CPU-utilization numbers the paper
+// reports.
+//
+// Work can be submitted asynchronously (Submit/SubmitOn — used by the
+// interrupt/softirq receive path, which the paper pins to one core) or
+// synchronously from a simulation process (Exec — used by application
+// threads).
+package cpu
+
+import (
+	"math"
+	"time"
+
+	"ioatsim/internal/cost"
+	"ioatsim/internal/sim"
+)
+
+// CPU is one node's set of cores.
+type CPU struct {
+	S *sim.Simulator
+	P *cost.Params
+
+	cores   []core
+	threads int
+
+	markAt       sim.Time
+	markBusy     time.Duration
+	markCoreBusy []time.Duration
+}
+
+type core struct {
+	nextFree sim.Time
+	busy     time.Duration // cumulative busy time as of nextFree
+}
+
+// New returns a CPU with p.Cores cores.
+func New(s *sim.Simulator, p *cost.Params) *CPU {
+	if p.Cores <= 0 {
+		panic("cpu: need at least one core")
+	}
+	return &CPU{S: s, P: p, cores: make([]core, p.Cores),
+		markCoreBusy: make([]time.Duration, p.Cores)}
+}
+
+// NumCores returns the number of cores.
+func (c *CPU) NumCores() int { return len(c.cores) }
+
+// pick returns the index of the core that will become free soonest.
+func (c *CPU) pick() int {
+	best := 0
+	for i := 1; i < len(c.cores); i++ {
+		if c.cores[i].nextFree < c.cores[best].nextFree {
+			best = i
+		}
+	}
+	return best
+}
+
+// enqueue places d of work on core i and returns its completion time.
+func (c *CPU) enqueue(i int, d time.Duration) sim.Time {
+	if d < 0 {
+		panic("cpu: negative work")
+	}
+	now := c.S.Now()
+	co := &c.cores[i]
+	start := co.nextFree
+	if start < now {
+		start = now
+	}
+	end := start.Add(d)
+	co.nextFree = end
+	co.busy += d
+	return end
+}
+
+// Submit executes d of work on the least-loaded core, then runs fn (which
+// may be nil).
+func (c *CPU) Submit(d time.Duration, fn func()) {
+	c.SubmitOn(c.pick(), d, fn)
+}
+
+// SubmitOn executes d of work on a specific core (interrupt affinity),
+// then runs fn (which may be nil).
+func (c *CPU) SubmitOn(i int, d time.Duration, fn func()) {
+	end := c.enqueue(i, d)
+	if fn != nil {
+		c.S.At(end, fn)
+	}
+}
+
+// Backlog returns how far in the future core i's queue currently extends.
+func (c *CPU) Backlog(i int) time.Duration {
+	now := c.S.Now()
+	if c.cores[i].nextFree <= now {
+		return 0
+	}
+	return c.cores[i].nextFree.Sub(now)
+}
+
+// Exec blocks the calling process while d of work executes on the
+// least-loaded core.
+func (c *CPU) Exec(p *sim.Proc, d time.Duration) {
+	c.ExecOn(p, c.pick(), d)
+}
+
+// ExecOn blocks the calling process while d of work executes on core i.
+func (c *CPU) ExecOn(p *sim.Proc, i int, d time.Duration) {
+	end := c.enqueue(i, d)
+	wait := end.Sub(p.Now())
+	if wait > 0 {
+		p.Sleep(wait)
+	}
+}
+
+// busyUpTo returns total busy time across cores up to time t. Queued work
+// occupies each core contiguously from now to nextFree, so the cumulative
+// counter only needs correcting for the not-yet-elapsed tail.
+func (c *CPU) busyUpTo(t sim.Time) time.Duration {
+	var total time.Duration
+	for i := range c.cores {
+		b := c.cores[i].busy
+		if c.cores[i].nextFree > t {
+			b -= c.cores[i].nextFree.Sub(t)
+		}
+		total += b
+	}
+	return total
+}
+
+// ResetWindow starts a new measurement window at the current time.
+func (c *CPU) ResetWindow() {
+	c.markAt = c.S.Now()
+	c.markBusy = c.busyUpTo(c.markAt)
+	for i := range c.cores {
+		c.markCoreBusy[i] = c.coreBusyUpTo(i, c.markAt)
+	}
+}
+
+// coreBusyUpTo returns core i's busy time up to t.
+func (c *CPU) coreBusyUpTo(i int, t sim.Time) time.Duration {
+	b := c.cores[i].busy
+	if c.cores[i].nextFree > t {
+		b -= c.cores[i].nextFree.Sub(t)
+	}
+	return b
+}
+
+// Utilization returns mean busy fraction across all cores since the last
+// ResetWindow (or the start of the run), in [0, 1].
+func (c *CPU) Utilization() float64 {
+	now := c.S.Now()
+	if now <= c.markAt {
+		return 0
+	}
+	busy := c.busyUpTo(now) - c.markBusy
+	return busy.Seconds() / (float64(len(c.cores)) * now.Sub(c.markAt).Seconds())
+}
+
+// BusyTime returns the total busy time across cores since the last
+// ResetWindow.
+func (c *CPU) BusyTime() time.Duration {
+	return c.busyUpTo(c.S.Now()) - c.markBusy
+}
+
+// CoreUtilization returns core i's busy fraction since the last
+// ResetWindow — the receive-core saturation metric.
+func (c *CPU) CoreUtilization(i int) float64 {
+	now := c.S.Now()
+	if now <= c.markAt {
+		return 0
+	}
+	b := c.coreBusyUpTo(i, now) - c.markCoreBusy[i]
+	return b.Seconds() / now.Sub(c.markAt).Seconds()
+}
+
+// RegisterThread records one more schedulable thread on this node.
+// Components that model threads (stream receivers, server workers) call
+// this so wake costs reflect oversubscription.
+func (c *CPU) RegisterThread() { c.threads++ }
+
+// UnregisterThread removes a thread registered with RegisterThread.
+func (c *CPU) UnregisterThread() {
+	c.threads--
+	if c.threads < 0 {
+		panic("cpu: thread count underflow")
+	}
+}
+
+// Threads returns the registered thread count.
+func (c *CPU) Threads() int { return c.threads }
+
+// WakeCost returns the cost of waking a blocked thread: the base context
+// switch plus an indirect penalty that grows with the log of
+// oversubscription (cold caches, scheduler queueing) — steep enough to
+// bound thread scalability, gentle enough that hundreds of mostly-idle
+// threads remain schedulable.
+func (c *CPU) WakeCost() time.Duration {
+	d := c.P.ContextSwitch
+	if over := c.threads - len(c.cores); over > 0 {
+		factor := math.Log2(1 + float64(over)/float64(len(c.cores)))
+		d += time.Duration(factor * float64(c.P.CSIndirect))
+	}
+	return d
+}

@@ -1,0 +1,191 @@
+package datacenter
+
+import (
+	"testing"
+	"time"
+
+	"ioatsim/internal/cost"
+	"ioatsim/internal/host"
+	"ioatsim/internal/ioat"
+)
+
+// fastOptions returns a small configuration that still exercises the
+// whole pipeline.
+func fastOptions(feat ioat.Features) Options {
+	return Options{
+		P:                cost.Default(),
+		Feat:             feat,
+		Seed:             1,
+		ClientNodes:      4,
+		ThreadsPerClient: 2,
+		FileCount:        1,
+		FileSize:         4 * cost.KB,
+		Warm:             10 * time.Millisecond,
+		Meas:             30 * time.Millisecond,
+	}
+}
+
+func TestTwoTierServesRequests(t *testing.T) {
+	m := RunTwoTier(fastOptions(ioat.None()))
+	if m.Completed == 0 {
+		t.Fatal("no requests completed")
+	}
+	if m.TPS <= 0 {
+		t.Fatalf("TPS = %v", m.TPS)
+	}
+	if m.ProxyCPU <= 0 || m.WebCPU <= 0 {
+		t.Fatalf("idle tiers: proxy=%v web=%v", m.ProxyCPU, m.WebCPU)
+	}
+}
+
+func TestTwoTierIOATImprovesTPS(t *testing.T) {
+	o := fastOptions(ioat.None())
+	o.ClientNodes = 16
+	o.ThreadsPerClient = 4
+	o.FileSize = 8 * cost.KB
+	plain := RunTwoTier(o)
+	o.Feat = ioat.Linux()
+	accel := RunTwoTier(o)
+	if accel.TPS < plain.TPS {
+		t.Fatalf("I/OAT TPS %v below non-I/OAT %v", accel.TPS, plain.TPS)
+	}
+}
+
+func TestTwoTierZipf(t *testing.T) {
+	o := fastOptions(ioat.Linux())
+	o.FileCount = 100
+	o.Alpha = 0.9
+	m := RunTwoTier(o)
+	if m.Completed == 0 {
+		t.Fatal("zipf run served nothing")
+	}
+}
+
+func TestTwoTierDeterministic(t *testing.T) {
+	a := RunTwoTier(fastOptions(ioat.Linux()))
+	b := RunTwoTier(fastOptions(ioat.Linux()))
+	if a.Completed != b.Completed || a.TPS != b.TPS {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestProxyCacheServesHits(t *testing.T) {
+	o := fastOptions(ioat.Linux())
+	o.CacheBytes = cost.MB
+	withCache := RunTwoTier(o)
+	o.CacheBytes = 0
+	without := RunTwoTier(o)
+	if withCache.Completed == 0 {
+		t.Fatal("cached run served nothing")
+	}
+	// With a single hot file, the cache removes the backend hop, so the
+	// web tier should be nearly idle and TPS at least as high.
+	if withCache.WebCPU >= without.WebCPU {
+		t.Fatalf("cache did not offload web tier: %v vs %v",
+			withCache.WebCPU, without.WebCPU)
+	}
+}
+
+func TestEmulatedScalesWithThreads(t *testing.T) {
+	o := fastOptions(ioat.Linux())
+	o.FileSize = 16 * cost.KB
+	one := RunEmulated(o, 1)
+	eight := RunEmulated(o, 8)
+	if eight.TPS <= one.TPS*2 {
+		t.Fatalf("8 threads (%v TPS) not scaling over 1 thread (%v TPS)", eight.TPS, one.TPS)
+	}
+	if eight.ClientCPU <= one.ClientCPU {
+		t.Fatal("client CPU did not grow with threads")
+	}
+}
+
+func TestEmulatedIOATSustainsMoreLoad(t *testing.T) {
+	// At saturation, I/OAT should deliver more TPS (the Fig. 9 claim).
+	o := fastOptions(ioat.None())
+	o.FileSize = 16 * cost.KB
+	plain := RunEmulated(o, 48)
+	o.Feat = ioat.Linux()
+	accel := RunEmulated(o, 48)
+	if accel.TPS <= plain.TPS {
+		t.Fatalf("I/OAT TPS %v not above non-I/OAT %v at saturation", accel.TPS, plain.TPS)
+	}
+}
+
+func TestContentCacheLRU(t *testing.T) {
+	cl := host.NewCluster(cost.Default(), 1)
+	n := cl.Add("n", ioat.None(), 1)
+	c := newContentCache(n, 10*cost.KB)
+	if _, ok := c.Put("a", 4*cost.KB); !ok {
+		t.Fatal("put a failed")
+	}
+	if _, ok := c.Put("b", 4*cost.KB); !ok {
+		t.Fatal("put b failed")
+	}
+	c.Get("a") // refresh a; b becomes LRU
+	if _, ok := c.Put("c", 4*cost.KB); !ok {
+		t.Fatal("put c failed")
+	}
+	if _, hit := c.Get("b"); hit {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	if _, hit := c.Get("a"); !hit {
+		t.Fatal("refreshed entry a was evicted")
+	}
+	if c.Used() > 10*cost.KB {
+		t.Fatalf("cache over capacity: %d", c.Used())
+	}
+}
+
+func TestContentCacheRejectsOversize(t *testing.T) {
+	cl := host.NewCluster(cost.Default(), 1)
+	n := cl.Add("n", ioat.None(), 1)
+	c := newContentCache(n, 4*cost.KB)
+	if _, ok := c.Put("big", 8*cost.KB); ok {
+		t.Fatal("cached a document larger than the cache")
+	}
+	disabled := newContentCache(n, 0)
+	if _, ok := disabled.Put("x", 1); ok {
+		t.Fatal("disabled cache accepted an entry")
+	}
+}
+
+func TestThreeTierServesRequests(t *testing.T) {
+	o := ThreeTierOptions{Options: fastOptions(ioat.Linux())}
+	o.QueriesPerRequest = 2
+	m := RunThreeTier(o)
+	if m.Completed == 0 {
+		t.Fatal("no dynamic requests completed")
+	}
+	if m.AppCPU <= 0 || m.DBCPU <= 0 {
+		t.Fatalf("idle inner tiers: app=%v db=%v", m.AppCPU, m.DBCPU)
+	}
+}
+
+func TestThreeTierQueriesCostThroughput(t *testing.T) {
+	run := func(q int) ThreeTierMetrics {
+		o := ThreeTierOptions{Options: fastOptions(ioat.Linux())}
+		o.ClientNodes = 8
+		o.ThreadsPerClient = 4
+		o.Warm = 40 * time.Millisecond
+		o.QueriesPerRequest = q
+		return RunThreeTier(o)
+	}
+	light := run(1)
+	heavy := run(6)
+	if heavy.TPS >= light.TPS {
+		t.Fatalf("more DB queries should cost TPS: %v vs %v", heavy.TPS, light.TPS)
+	}
+	if heavy.DBCPU <= light.DBCPU {
+		t.Fatalf("DB CPU should grow with queries: %v vs %v", heavy.DBCPU, light.DBCPU)
+	}
+}
+
+func TestThreeTierDeterministic(t *testing.T) {
+	o := ThreeTierOptions{Options: fastOptions(ioat.Linux())}
+	o.Warm = 40 * time.Millisecond
+	a := RunThreeTier(o)
+	b := RunThreeTier(o)
+	if a != b {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}

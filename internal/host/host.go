@@ -1,0 +1,127 @@
+// Package host assembles complete simulated machines — cores, cache,
+// memory, DMA engine, NIC and transport stack — and builds the paper's
+// testbeds:
+//
+//   - Testbed 1: two SuperMicro X7DB8+ nodes (dual-core dual Xeon
+//     3.46 GHz, 2 MB L2) with six 1-GbE ports each, one VLAN per port
+//     pair (paper §4);
+//   - Testbed 2: a cluster of client nodes used purely as request
+//     generators (paper §4, §5).
+package host
+
+import (
+	"fmt"
+
+	"ioatsim/internal/cost"
+	"ioatsim/internal/cpu"
+	"ioatsim/internal/dma"
+	"ioatsim/internal/ioat"
+	"ioatsim/internal/mem"
+	"ioatsim/internal/nic"
+	"ioatsim/internal/rng"
+	"ioatsim/internal/sim"
+	"ioatsim/internal/tcp"
+)
+
+// Node is one complete machine.
+type Node struct {
+	Name   string
+	S      *sim.Simulator
+	P      *cost.Params
+	Feat   ioat.Features
+	CPU    *cpu.CPU
+	Mem    *mem.Model
+	DMA    *dma.Engine
+	NIC    *nic.NIC
+	Stack  *tcp.Stack
+	Copier *ioat.Copier
+}
+
+// NewNode builds a machine with nports NIC ports.
+func NewNode(s *sim.Simulator, p *cost.Params, feat ioat.Features, name string, nports int) *Node {
+	m := mem.NewModel(p)
+	c := cpu.New(s, p)
+	e := dma.New(s, p, m)
+	n := nic.New(s, p, c, m, e, feat, name, nports)
+	st := tcp.NewStack(s, p, c, m, e, n, feat, name)
+	return &Node{
+		Name: name, S: s, P: p, Feat: feat,
+		CPU: c, Mem: m, DMA: e, NIC: n, Stack: st,
+		Copier: ioat.NewCopier(c, e, m),
+	}
+}
+
+// Buf allocates a user buffer in the node's address space.
+func (n *Node) Buf(size int) mem.Buffer { return n.Mem.Space.Alloc(size, 0) }
+
+// ResetMeters starts fresh CPU and DMA utilization windows, discarding
+// warm-up activity.
+func (n *Node) ResetMeters() {
+	n.CPU.ResetWindow()
+	n.DMA.ResetWindow()
+}
+
+// Cluster is a set of nodes sharing one simulator and parameter set.
+type Cluster struct {
+	S      *sim.Simulator
+	P      *cost.Params
+	Rand   *rng.Rand
+	Nodes  []*Node
+	byName map[string]*Node
+}
+
+// NewCluster returns an empty cluster with a deterministic RNG.
+func NewCluster(p *cost.Params, seed uint64) *Cluster {
+	return &Cluster{
+		S: sim.New(), P: p, Rand: rng.New(seed),
+		byName: make(map[string]*Node),
+	}
+}
+
+// Add builds and registers a node.
+func (c *Cluster) Add(name string, feat ioat.Features, nports int) *Node {
+	if _, dup := c.byName[name]; dup {
+		panic(fmt.Sprintf("host: duplicate node %q", name))
+	}
+	n := NewNode(c.S, c.P, feat, name, nports)
+	c.Nodes = append(c.Nodes, n)
+	c.byName[name] = n
+	return n
+}
+
+// Node returns a registered node by name.
+func (c *Cluster) Node(name string) *Node {
+	n, ok := c.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("host: unknown node %q", name))
+	}
+	return n
+}
+
+// ResetMeters resets every node's measurement windows.
+func (c *Cluster) ResetMeters() {
+	for _, n := range c.Nodes {
+		n.ResetMeters()
+	}
+}
+
+// Testbed1 builds the paper's two-node micro-benchmark testbed: both
+// nodes run the same feature set and have six 1-GbE ports connected
+// port-to-port (the paper's per-port VLANs).
+func Testbed1(p *cost.Params, feat ioat.Features, seed uint64) (*Cluster, *Node, *Node) {
+	c := NewCluster(p, seed)
+	a := c.Add("node1", feat, 6)
+	b := c.Add("node2", feat, 6)
+	return c, a, b
+}
+
+// AddClients adds n single-port client nodes (Testbed 2's request
+// generators). Clients are conventional (non-I/OAT) machines unless feat
+// says otherwise.
+func (c *Cluster) AddClients(n int, feat ioat.Features) []*Node {
+	clients := make([]*Node, n)
+	for i := range clients {
+		clients[i] = c.Add(fmt.Sprintf("client%d", i), feat, 1)
+	}
+	return clients
+}

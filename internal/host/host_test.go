@@ -1,0 +1,94 @@
+package host
+
+import (
+	"testing"
+	"time"
+
+	"ioatsim/internal/cost"
+	"ioatsim/internal/ioat"
+	"ioatsim/internal/sim"
+	"ioatsim/internal/tcp"
+)
+
+func TestTestbed1Shape(t *testing.T) {
+	c, a, b := Testbed1(cost.Default(), ioat.Linux(), 1)
+	if len(c.Nodes) != 2 {
+		t.Fatalf("nodes = %d", len(c.Nodes))
+	}
+	if a.CPU.NumCores() != 4 || b.CPU.NumCores() != 4 {
+		t.Fatal("Testbed 1 nodes must have 4 cores")
+	}
+	if len(a.NIC.Ports) != 6 || len(b.NIC.Ports) != 6 {
+		t.Fatal("Testbed 1 nodes must have 6 ports")
+	}
+}
+
+func TestDuplicateNodePanics(t *testing.T) {
+	c := NewCluster(cost.Default(), 1)
+	c.Add("x", ioat.None(), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate node did not panic")
+		}
+	}()
+	c.Add("x", ioat.None(), 1)
+}
+
+func TestNodeLookup(t *testing.T) {
+	c := NewCluster(cost.Default(), 1)
+	n := c.Add("svr", ioat.None(), 2)
+	if c.Node("svr") != n {
+		t.Fatal("lookup returned wrong node")
+	}
+}
+
+func TestAddClients(t *testing.T) {
+	c := NewCluster(cost.Default(), 1)
+	clients := c.AddClients(5, ioat.None())
+	if len(clients) != 5 || len(c.Nodes) != 5 {
+		t.Fatal("client count wrong")
+	}
+	for _, cl := range clients {
+		if len(cl.NIC.Ports) != 1 {
+			t.Fatal("clients must have one port")
+		}
+	}
+}
+
+func TestEndToEndTransferAcrossCluster(t *testing.T) {
+	c, a, b := Testbed1(cost.Default(), ioat.Linux(), 1)
+	ca, cb := tcp.Pair(a.Stack, b.Stack, 0, 0)
+	src, dst := a.Buf(64*cost.KB), b.Buf(64*cost.KB)
+	var done sim.Time
+	c.S.Spawn("tx", func(p *sim.Proc) { ca.Send(p, src, cost.MB) })
+	c.S.Spawn("rx", func(p *sim.Proc) {
+		cb.Recv(p, dst, cost.MB)
+		done = p.Now()
+	})
+	c.S.Run()
+	if done <= 0 {
+		t.Fatal("transfer did not complete")
+	}
+	mbps := float64(cost.MB*8) / time.Duration(done).Seconds() / 1e6
+	if mbps < 800 {
+		t.Fatalf("goodput = %.0f Mb/s", mbps)
+	}
+}
+
+func TestResetMetersClearsUtilization(t *testing.T) {
+	c, a, b := Testbed1(cost.Default(), ioat.None(), 1)
+	ca, cb := tcp.Pair(a.Stack, b.Stack, 0, 0)
+	src, dst := a.Buf(64*cost.KB), b.Buf(64*cost.KB)
+	c.S.Spawn("tx", func(p *sim.Proc) { ca.Send(p, src, cost.MB) })
+	c.S.Spawn("rx", func(p *sim.Proc) { cb.Recv(p, dst, cost.MB) })
+	c.S.Run()
+	if b.CPU.Utilization() <= 0 {
+		t.Fatal("expected nonzero utilization after transfer")
+	}
+	c.ResetMeters()
+	c.S.Schedule(time.Millisecond, func() {})
+	c.S.Run()
+	if u := b.CPU.Utilization(); u != 0 {
+		t.Fatalf("utilization after reset and idle = %v, want 0", u)
+	}
+}

@@ -1,0 +1,70 @@
+package httpm
+
+import (
+	"testing"
+
+	"ioatsim/internal/cost"
+	"ioatsim/internal/host"
+	"ioatsim/internal/ioat"
+	"ioatsim/internal/msg"
+	"ioatsim/internal/sim"
+	"ioatsim/internal/tcp"
+)
+
+func TestGetRoundTrip(t *testing.T) {
+	cl, a, b := host.Testbed1(cost.Default(), ioat.Linux(), 1)
+	ca, cb := tcp.Pair(a.Stack, b.Stack, 0, 0)
+	client, server := msg.Wrap(ca), msg.Wrap(cb)
+
+	var served Request
+	var gotResp Response
+	var gotBody int
+	file := b.Buf(8 * cost.KB)
+	cl.S.Spawn("server", func(p *sim.Proc) {
+		served = ReadRequest(p, server)
+		WriteResponse(p, server, Response{Status: 200, Path: served.Path}, file.Size, file, true)
+	})
+	cl.S.Spawn("client", func(p *sim.Proc) {
+		WriteRequest(p, client, Request{Path: "/index.html"})
+		dst := a.Buf(8 * cost.KB)
+		gotResp, gotBody = ReadResponse(p, client, dst)
+	})
+	cl.S.Run()
+
+	if served.Path != "/index.html" {
+		t.Fatalf("server saw %+v", served)
+	}
+	if gotResp.Status != 200 || gotBody != 8*cost.KB {
+		t.Fatalf("client got %+v body=%d", gotResp, gotBody)
+	}
+}
+
+func TestPipelinedRequests(t *testing.T) {
+	cl, a, b := host.Testbed1(cost.Default(), ioat.None(), 1)
+	ca, cb := tcp.Pair(a.Stack, b.Stack, 0, 0)
+	client, server := msg.Wrap(ca), msg.Wrap(cb)
+
+	const n = 10
+	var served int
+	cl.S.Spawn("server", func(p *sim.Proc) {
+		buf := b.Buf(4 * cost.KB)
+		for i := 0; i < n; i++ {
+			req := ReadRequest(p, server)
+			WriteResponse(p, server, Response{Status: 200, Path: req.Path}, 4*cost.KB, buf, false)
+			served++
+		}
+	})
+	var completed int
+	cl.S.Spawn("client", func(p *sim.Proc) {
+		dst := a.Buf(4 * cost.KB)
+		for i := 0; i < n; i++ {
+			WriteRequest(p, client, Request{Path: "/x"})
+			ReadResponse(p, client, dst)
+			completed++
+		}
+	})
+	cl.S.Run()
+	if served != n || completed != n {
+		t.Fatalf("served=%d completed=%d, want %d", served, completed, n)
+	}
+}

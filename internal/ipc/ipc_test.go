@@ -1,0 +1,145 @@
+package ipc
+
+import (
+	"testing"
+	"time"
+
+	"ioatsim/internal/cost"
+	"ioatsim/internal/host"
+	"ioatsim/internal/ioat"
+	"ioatsim/internal/sim"
+)
+
+func newNode() (*host.Cluster, *host.Node) {
+	cl := host.NewCluster(cost.Default(), 1)
+	return cl, cl.Add("n", ioat.Linux(), 1)
+}
+
+func TestDelivery(t *testing.T) {
+	cl, n := newNode()
+	ch := New(n, 64*cost.KB, 8)
+	src := n.Buf(64 * cost.KB)
+	dst := n.Buf(64 * cost.KB)
+	var got []int
+	cl.S.Spawn("producer", func(p *sim.Proc) {
+		for _, sz := range []int{100, 4 * cost.KB, 64 * cost.KB} {
+			ch.Send(p, src, sz)
+		}
+	})
+	cl.S.Spawn("consumer", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, ch.Recv(p, dst))
+		}
+	})
+	cl.S.Run()
+	want := []int{100, 4 * cost.KB, 64 * cost.KB}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if ch.Messages != 3 || ch.Bytes != int64(100+4*cost.KB+64*cost.KB) {
+		t.Fatalf("stats: %d msgs, %d bytes", ch.Messages, ch.Bytes)
+	}
+}
+
+func TestBackpressure(t *testing.T) {
+	cl, n := newNode()
+	ch := New(n, 4*cost.KB, 2)
+	src := n.Buf(4 * cost.KB)
+	dst := n.Buf(4 * cost.KB)
+	var thirdSentAt, firstRecvAt sim.Time = -1, -1
+	cl.S.Spawn("producer", func(p *sim.Proc) {
+		ch.Send(p, src, 4*cost.KB)
+		ch.Send(p, src, 4*cost.KB)
+		ch.Send(p, src, 4*cost.KB) // must wait for the consumer
+		thirdSentAt = p.Now()
+	})
+	cl.S.Spawn("consumer", func(p *sim.Proc) {
+		p.Sleep(time.Millisecond)
+		firstRecvAt = p.Now()
+		for i := 0; i < 3; i++ {
+			ch.Recv(p, dst)
+		}
+	})
+	cl.S.Run()
+	if thirdSentAt < firstRecvAt {
+		t.Fatalf("third send at %v before consumer started at %v — ring unbounded",
+			thirdSentAt, firstRecvAt)
+	}
+}
+
+func TestEngineModeFreesProducerCPU(t *testing.T) {
+	// Producer-side CPU for a 64K message: engine mode pays setup only.
+	run := func(mode Mode) time.Duration {
+		cl, n := newNode()
+		ch := New(n, 64*cost.KB, 8)
+		ch.Mode = mode
+		src := n.Buf(64 * cost.KB)
+		dst := n.Buf(64 * cost.KB)
+		var producerCPU time.Duration
+		cl.S.Spawn("producer", func(p *sim.Proc) {
+			start := n.CPU.BusyTime()
+			for i := 0; i < 16; i++ {
+				ch.Send(p, src, 64*cost.KB)
+			}
+			producerCPU = n.CPU.BusyTime() - start
+		})
+		cl.S.Spawn("consumer", func(p *sim.Proc) {
+			for i := 0; i < 16; i++ {
+				ch.Recv(p, dst)
+			}
+		})
+		cl.S.Run()
+		return producerCPU
+	}
+	// Note: BusyTime includes the consumer's concurrent work, so compare
+	// whole-run CPU, which is dominated by the copies.
+	if run(EngineCopy) >= run(CPUCopy) {
+		t.Fatal("engine mode did not reduce CPU")
+	}
+}
+
+func TestThroughputPipelines(t *testing.T) {
+	// With a deep ring, engine-mode messages pipeline: total time for N
+	// messages approaches N * transferTime, not N * (2 transfers).
+	cl, n := newNode()
+	ch := New(n, 64*cost.KB, 16)
+	ch.Mode = EngineCopy
+	src := n.Buf(64 * cost.KB)
+	dst := n.Buf(64 * cost.KB)
+	const N = 32
+	var done sim.Time
+	cl.S.Spawn("producer", func(p *sim.Proc) {
+		for i := 0; i < N; i++ {
+			ch.Send(p, src, 64*cost.KB)
+		}
+	})
+	cl.S.Spawn("consumer", func(p *sim.Proc) {
+		for i := 0; i < N; i++ {
+			ch.Recv(p, dst)
+		}
+		done = p.Now()
+	})
+	cl.S.Run()
+	perMsg := n.DMA.TransferTime(64 * cost.KB)
+	// 2 engine transfers per message on one engine: the floor is 2N
+	// transfer times; allow 30% overhead.
+	floor := time.Duration(2*N) * perMsg
+	if time.Duration(done) > floor*13/10 {
+		t.Fatalf("32 messages took %v, floor %v — not pipelining", time.Duration(done), floor)
+	}
+}
+
+func TestOversizeMessagePanics(t *testing.T) {
+	cl, n := newNode()
+	ch := New(n, 4*cost.KB, 2)
+	_ = cl
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversize message did not panic")
+		}
+	}()
+	// Calling Send outside a proc is fine up to the panic point.
+	ch.Send(nil, n.Buf(8*cost.KB), 8*cost.KB)
+}

@@ -1,0 +1,104 @@
+// Package link models the Ethernet fabric: full-duplex ports with line-
+// rate serialization on both the transmit and receive side, and a fixed
+// switch/propagation latency. Simulation granularity is the chunk — a
+// burst of back-to-back frames belonging to one transport segment group —
+// with per-frame wire overheads folded into the chunk's wire size.
+package link
+
+import (
+	"time"
+
+	"ioatsim/internal/sim"
+)
+
+// Chunk is one burst of frames in flight.
+type Chunk struct {
+	// Bytes is the transport payload carried.
+	Bytes int
+	// Frames is how many wire frames the chunk spans.
+	Frames int
+	// WireBytes is the on-wire size including all per-frame overheads.
+	WireBytes int
+	// Meta carries transport-layer context opaquely through the fabric.
+	Meta any
+}
+
+// Port is one full-duplex Ethernet port. The transmit and receive
+// directions serialize independently at the port's line rate.
+type Port struct {
+	S       *sim.Simulator
+	Node    string
+	Index   int
+	RateBps int64
+	Prop    time.Duration
+
+	// Deliver is invoked at this port when a chunk has been fully
+	// received. The NIC layer installs it.
+	Deliver func(c *Chunk)
+
+	txFree sim.Time
+	rxFree sim.Time
+
+	TxBytes     int64 // payload bytes transmitted
+	RxBytes     int64 // payload bytes received
+	TxWireBytes int64
+	RxWireBytes int64
+}
+
+// NewPort returns an idle port.
+func NewPort(s *sim.Simulator, node string, index int, rateBps int64, prop time.Duration) *Port {
+	if rateBps <= 0 {
+		panic("link: non-positive rate")
+	}
+	return &Port{S: s, Node: node, Index: index, RateBps: rateBps, Prop: prop}
+}
+
+// serTime returns the serialization time of n wire bytes at the port rate.
+func (p *Port) serTime(n int) time.Duration {
+	return time.Duration(int64(n) * 8 * int64(time.Second) / p.RateBps)
+}
+
+// Send transmits c to dst. The chunk occupies this port's transmit side
+// and dst's receive side for its serialization time; dst.Deliver fires
+// when the last bit has arrived.
+func (p *Port) Send(dst *Port, c *Chunk) {
+	if c.WireBytes <= 0 {
+		panic("link: empty chunk")
+	}
+	now := p.S.Now()
+	ser := p.serTime(c.WireBytes)
+
+	txStart := p.txFree
+	if txStart < now {
+		txStart = now
+	}
+	txEnd := txStart.Add(ser)
+	p.txFree = txEnd
+	p.TxBytes += int64(c.Bytes)
+	p.TxWireBytes += int64(c.WireBytes)
+
+	arrive := txEnd.Add(p.Prop)
+	deliverAt := arrive
+	if earliest := dst.rxFree.Add(dst.serTime(c.WireBytes)); earliest > deliverAt {
+		deliverAt = earliest
+	}
+	dst.rxFree = deliverAt
+
+	p.S.At(deliverAt, func() {
+		dst.RxBytes += int64(c.Bytes)
+		dst.RxWireBytes += int64(c.WireBytes)
+		if dst.Deliver == nil {
+			panic("link: chunk delivered to port with no NIC attached")
+		}
+		dst.Deliver(c)
+	})
+}
+
+// TxBacklog reports how far in the future the transmit side is committed.
+func (p *Port) TxBacklog() time.Duration {
+	now := p.S.Now()
+	if p.txFree <= now {
+		return 0
+	}
+	return p.txFree.Sub(now)
+}

@@ -1,0 +1,133 @@
+package link
+
+import (
+	"testing"
+	"time"
+
+	"ioatsim/internal/sim"
+)
+
+const gig = 1000 * 1000 * 1000
+
+func pair(s *sim.Simulator) (*Port, *Port) {
+	a := NewPort(s, "a", 0, gig, time.Microsecond)
+	b := NewPort(s, "b", 0, gig, time.Microsecond)
+	return a, b
+}
+
+func TestSingleChunkLatency(t *testing.T) {
+	s := sim.New()
+	a, b := pair(s)
+	var gotAt sim.Time = -1
+	b.Deliver = func(c *Chunk) { gotAt = s.Now() }
+	// 1250 wire bytes = 10000 bits = 10 us at 1 Gb/s, +1 us prop.
+	a.Send(b, &Chunk{Bytes: 1200, Frames: 1, WireBytes: 1250})
+	s.Run()
+	if gotAt != sim.Time(11*time.Microsecond) {
+		t.Fatalf("gotAt = %v, want 11us", gotAt)
+	}
+}
+
+func TestTxSerialization(t *testing.T) {
+	s := sim.New()
+	a, b := pair(s)
+	var arrivals []sim.Time
+	b.Deliver = func(c *Chunk) { arrivals = append(arrivals, s.Now()) }
+	for i := 0; i < 3; i++ {
+		a.Send(b, &Chunk{Bytes: 1200, Frames: 1, WireBytes: 1250})
+	}
+	s.Run()
+	if len(arrivals) != 3 {
+		t.Fatalf("arrivals = %v", arrivals)
+	}
+	// Back-to-back chunks are spaced by serialization time (10 us).
+	for i := 1; i < 3; i++ {
+		if arrivals[i]-arrivals[i-1] != sim.Time(10*time.Microsecond) {
+			t.Fatalf("spacing = %v, want 10us", arrivals[i]-arrivals[i-1])
+		}
+	}
+}
+
+func TestRxContention(t *testing.T) {
+	// Two senders funnel into one receive port: the receive side must
+	// serialize, halving each sender's delivered rate.
+	s := sim.New()
+	recv := NewPort(s, "proxy", 0, gig, time.Microsecond)
+	var arrivals []sim.Time
+	recv.Deliver = func(c *Chunk) { arrivals = append(arrivals, s.Now()) }
+	c1 := NewPort(s, "c1", 0, gig, time.Microsecond)
+	c2 := NewPort(s, "c2", 0, gig, time.Microsecond)
+	c1.Send(recv, &Chunk{Bytes: 1200, Frames: 1, WireBytes: 1250})
+	c2.Send(recv, &Chunk{Bytes: 1200, Frames: 1, WireBytes: 1250})
+	s.Run()
+	if len(arrivals) != 2 {
+		t.Fatalf("arrivals = %v", arrivals)
+	}
+	if arrivals[1]-arrivals[0] != sim.Time(10*time.Microsecond) {
+		t.Fatalf("rx not serialized: %v", arrivals)
+	}
+}
+
+func TestFullDuplex(t *testing.T) {
+	// Opposite directions must not interfere.
+	s := sim.New()
+	a, b := pair(s)
+	var aGot, bGot sim.Time
+	a.Deliver = func(c *Chunk) { aGot = s.Now() }
+	b.Deliver = func(c *Chunk) { bGot = s.Now() }
+	a.Send(b, &Chunk{Bytes: 1200, Frames: 1, WireBytes: 1250})
+	b.Send(a, &Chunk{Bytes: 1200, Frames: 1, WireBytes: 1250})
+	s.Run()
+	want := sim.Time(11 * time.Microsecond)
+	if aGot != want || bGot != want {
+		t.Fatalf("aGot=%v bGot=%v, want both %v (full duplex)", aGot, bGot, want)
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	s := sim.New()
+	a, b := pair(s)
+	b.Deliver = func(c *Chunk) {}
+	a.Send(b, &Chunk{Bytes: 1000, Frames: 1, WireBytes: 1100})
+	a.Send(b, &Chunk{Bytes: 2000, Frames: 2, WireBytes: 2200})
+	s.Run()
+	if a.TxBytes != 3000 || b.RxBytes != 3000 {
+		t.Fatalf("payload accounting: tx=%d rx=%d", a.TxBytes, b.RxBytes)
+	}
+	if a.TxWireBytes != 3300 || b.RxWireBytes != 3300 {
+		t.Fatalf("wire accounting: tx=%d rx=%d", a.TxWireBytes, b.RxWireBytes)
+	}
+}
+
+func TestLineRateCeiling(t *testing.T) {
+	// Saturating one port for 10 ms of virtual time must deliver at most
+	// line rate.
+	s := sim.New()
+	a, b := pair(s)
+	b.Deliver = func(c *Chunk) {}
+	const wire = 64 * 1024
+	n := 0
+	for sim.Time(0).Add(a.TxBacklog()) < sim.Time(10*time.Millisecond) {
+		a.Send(b, &Chunk{Bytes: wire - 2000, Frames: 45, WireBytes: wire})
+		n++
+	}
+	end := s.Run()
+	rate := float64(b.RxWireBytes*8) / time.Duration(end).Seconds()
+	if rate > gig*1.001 {
+		t.Fatalf("delivered above line rate: %.0f bps", rate)
+	}
+	if rate < gig*0.95 {
+		t.Fatalf("saturated port below 95%% line rate: %.0f bps", rate)
+	}
+}
+
+func TestBackpressureVisible(t *testing.T) {
+	s := sim.New()
+	a, b := pair(s)
+	b.Deliver = func(c *Chunk) {}
+	a.Send(b, &Chunk{Bytes: 1, Frames: 1, WireBytes: 12500}) // 100 us
+	if got := a.TxBacklog(); got != 100*time.Microsecond {
+		t.Fatalf("backlog = %v, want 100us", got)
+	}
+	s.Run()
+}

@@ -1,0 +1,201 @@
+package mem
+
+// Cache is a set-associative LRU cache with write-allocate semantics,
+// indexed by synthetic physical address. It tracks only presence, not
+// data; the cost model turns hit/miss outcomes into time.
+type Cache struct {
+	lineSize int
+	ways     int
+	nsets    int
+	shift    uint // log2(lineSize)
+	mask     uint64
+
+	lines []cacheLine // nsets * ways
+	tick  uint64
+
+	Hits   uint64
+	Misses uint64
+}
+
+type cacheLine struct {
+	tag  uint64 // line address + 1 (0 = invalid)
+	last uint64 // LRU timestamp
+}
+
+// NewCache returns a cache of the given total size, line size and
+// associativity. Size must be a multiple of lineSize*ways and the derived
+// set count must be a power of two.
+func NewCache(size, lineSize, ways int) *Cache {
+	if size <= 0 || lineSize <= 0 || ways <= 0 {
+		panic("mem: bad cache geometry")
+	}
+	nsets := size / (lineSize * ways)
+	if nsets == 0 || nsets&(nsets-1) != 0 {
+		panic("mem: cache set count must be a power of two")
+	}
+	if lineSize&(lineSize-1) != 0 {
+		panic("mem: line size must be a power of two")
+	}
+	shift := uint(0)
+	for 1<<shift != lineSize {
+		shift++
+	}
+	return &Cache{
+		lineSize: lineSize,
+		ways:     ways,
+		nsets:    nsets,
+		shift:    shift,
+		mask:     uint64(nsets - 1),
+		lines:    make([]cacheLine, nsets*ways),
+	}
+}
+
+// LineSize returns the cache line size in bytes.
+func (c *Cache) LineSize() int { return c.lineSize }
+
+// Size returns the total capacity in bytes.
+func (c *Cache) Size() int { return c.nsets * c.ways * c.lineSize }
+
+// Access touches the line containing addr, allocating it on miss, and
+// reports whether it was a hit.
+func (c *Cache) Access(addr Addr) bool {
+	line := uint64(addr) >> c.shift
+	set := int(line & c.mask)
+	base := set * c.ways
+	c.tick++
+	tag := line + 1
+	victim := base
+	oldest := ^uint64(0)
+	for i := base; i < base+c.ways; i++ {
+		if c.lines[i].tag == tag {
+			c.lines[i].last = c.tick
+			c.Hits++
+			return true
+		}
+		if c.lines[i].last < oldest {
+			oldest = c.lines[i].last
+			victim = i
+		}
+	}
+	c.lines[victim] = cacheLine{tag: tag, last: c.tick}
+	c.Misses++
+	return false
+}
+
+// Contains reports whether the line holding addr is resident, without
+// updating LRU state or statistics.
+func (c *Cache) Contains(addr Addr) bool {
+	line := uint64(addr) >> c.shift
+	set := int(line & c.mask)
+	base := set * c.ways
+	tag := line + 1
+	for i := base; i < base+c.ways; i++ {
+		if c.lines[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// AccessRange touches every line of [addr, addr+n) and returns the hit
+// and miss counts.
+func (c *Cache) AccessRange(addr Addr, n int) (hits, misses int) {
+	if n <= 0 {
+		return 0, 0
+	}
+	first := uint64(addr) >> c.shift
+	last := (uint64(addr) + uint64(n) - 1) >> c.shift
+	for l := first; l <= last; l++ {
+		if c.Access(Addr(l << c.shift)) {
+			hits++
+		} else {
+			misses++
+		}
+	}
+	return hits, misses
+}
+
+// Install brings every line of [addr, addr+n) into the cache without
+// counting hits or misses — the model for direct cache placement (DCA).
+// It returns how many valid lines belonging to other addresses were
+// evicted to make room: the pollution a full-packet placement inflicts
+// on the rest of the system.
+func (c *Cache) Install(addr Addr, n int) (evicted int) {
+	if n <= 0 {
+		return 0
+	}
+	first := uint64(addr) >> c.shift
+	last := (uint64(addr) + uint64(n) - 1) >> c.shift
+	for l := first; l <= last; l++ {
+		line := l
+		set := int(line & c.mask)
+		base := set * c.ways
+		c.tick++
+		tag := line + 1
+		victim := base
+		oldest := ^uint64(0)
+		found := false
+		for i := base; i < base+c.ways; i++ {
+			if c.lines[i].tag == tag {
+				c.lines[i].last = c.tick
+				found = true
+				break
+			}
+			if c.lines[i].last < oldest {
+				oldest = c.lines[i].last
+				victim = i
+			}
+		}
+		if !found {
+			if c.lines[victim].tag != 0 {
+				evicted++
+			}
+			c.lines[victim] = cacheLine{tag: tag, last: c.tick}
+		}
+	}
+	return evicted
+}
+
+// Invalidate drops every line of [addr, addr+n) — the coherence action a
+// DMA write forces on the CPU cache (paper §2.2.2).
+func (c *Cache) Invalidate(addr Addr, n int) {
+	if n <= 0 {
+		return
+	}
+	first := uint64(addr) >> c.shift
+	last := (uint64(addr) + uint64(n) - 1) >> c.shift
+	for l := first; l <= last; l++ {
+		set := int(l & c.mask)
+		base := set * c.ways
+		tag := l + 1
+		for i := base; i < base+c.ways; i++ {
+			if c.lines[i].tag == tag {
+				c.lines[i] = cacheLine{}
+				break
+			}
+		}
+	}
+}
+
+// Flush empties the cache.
+func (c *Cache) Flush() {
+	for i := range c.lines {
+		c.lines[i] = cacheLine{}
+	}
+}
+
+// Resident returns how many lines of [addr, addr+n) are currently cached.
+func (c *Cache) Resident(addr Addr, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	count := 0
+	first := uint64(addr) >> c.shift
+	last := (uint64(addr) + uint64(n) - 1) >> c.shift
+	for l := first; l <= last; l++ {
+		if c.Contains(Addr(l << c.shift)) {
+			count++
+		}
+	}
+	return count
+}

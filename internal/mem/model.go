@@ -1,0 +1,86 @@
+package mem
+
+import (
+	"time"
+
+	"ioatsim/internal/cost"
+)
+
+// Model prices memory operations against one node's cache.
+type Model struct {
+	P     *cost.Params
+	Cache *Cache
+	Space *Space
+}
+
+// NewModel returns a memory model with a fresh cache and address space.
+func NewModel(p *cost.Params) *Model {
+	return &Model{
+		P:     p,
+		Cache: NewCache(p.CacheSize, p.CacheLine, p.CacheWays),
+		Space: NewSpace(),
+	}
+}
+
+// CopyCost prices a CPU memcpy of n bytes from src to dst, updating the
+// cache (both source reads and write-allocated destination lines pass
+// through it — this is the pollution the DMA engine avoids). Streaming
+// access costs apply: the hardware prefetcher hides most of the latency.
+func (m *Model) CopyCost(src, dst Addr, n int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	sh, sm := m.Cache.AccessRange(src, n)
+	dh, dm := m.Cache.AccessRange(dst, n)
+	hits := time.Duration(sh + dh)
+	misses := time.Duration(sm + dm)
+	return hits*m.P.StreamHit + misses*m.P.StreamMiss
+}
+
+// TouchCost prices a streaming read or write pass over [addr, addr+n),
+// e.g. an application scanning a received buffer.
+func (m *Model) TouchCost(addr Addr, n int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	h, miss := m.Cache.AccessRange(addr, n)
+	return time.Duration(h)*m.P.StreamHit + time.Duration(miss)*m.P.StreamMiss
+}
+
+// RandomCost prices dependent accesses to nLines lines starting at addr —
+// the pattern of protocol-header and connection-state reads, where each
+// miss pays the full DRAM latency.
+func (m *Model) RandomCost(addr Addr, nLines int) time.Duration {
+	var d time.Duration
+	line := m.P.CacheLine
+	for i := 0; i < nLines; i++ {
+		if m.Cache.Access(addr + Addr(i*line)) {
+			d += m.P.RandHit
+		} else {
+			d += m.P.RandMiss
+		}
+	}
+	return d
+}
+
+// DMAWrite models a device (NIC or copy engine) writing [addr, addr+n):
+// the data lands in memory and any stale cached lines are invalidated,
+// so the CPU's next access misses.
+func (m *Model) DMAWrite(addr Addr, n int) {
+	m.Cache.Invalidate(addr, n)
+}
+
+// InstallHeader models direct cache placement of a split header: the
+// header bytes are pushed into the cache so the protocol code hits.
+func (m *Model) InstallHeader(addr Addr, n int) {
+	m.Cache.Install(addr, n)
+}
+
+// InstallPacket models full-packet direct cache placement (the I/OAT
+// platform without split headers): the whole frame lands in the cache and
+// the cost of the valid lines it displaces is charged to the receive
+// path.
+func (m *Model) InstallPacket(addr Addr, n int) time.Duration {
+	evicted := m.Cache.Install(addr, n)
+	return time.Duration(evicted) * m.P.EvictPenalty
+}

@@ -1,0 +1,119 @@
+package msg
+
+import (
+	"testing"
+
+	"ioatsim/internal/cost"
+	"ioatsim/internal/host"
+	"ioatsim/internal/ioat"
+	"ioatsim/internal/sim"
+	"ioatsim/internal/tcp"
+)
+
+type req struct {
+	Path string
+	N    int
+}
+
+func setup(t *testing.T) (*host.Cluster, *Conn, *Conn) {
+	t.Helper()
+	cl, a, b := host.Testbed1(cost.Default(), ioat.Linux(), 1)
+	ca, cb := tcp.Pair(a.Stack, b.Stack, 0, 0)
+	return cl, Wrap(ca), Wrap(cb)
+}
+
+func TestRequestResponse(t *testing.T) {
+	cl, client, server := setup(t)
+	var got req
+	var respBody int
+	cl.S.Spawn("server", func(p *sim.Proc) {
+		env := server.Recv(p, server.T.Stack().Mem.Space.Alloc(4*cost.KB, 0))
+		got = env.Meta.(req)
+		server.Send(p, "resp", got.N, server.T.Stack().Mem.Space.Alloc(got.N, 0), tcp.SendOptions{})
+	})
+	cl.S.Spawn("client", func(p *sim.Proc) {
+		client.Send(p, req{Path: "/a", N: 16 * cost.KB}, 0, client.T.Stack().Mem.Space.Alloc(1, 0), tcp.SendOptions{})
+		env := client.Recv(p, client.T.Stack().Mem.Space.Alloc(16*cost.KB, 0))
+		respBody = env.Body
+	})
+	cl.S.Run()
+	if got.Path != "/a" || got.N != 16*cost.KB {
+		t.Fatalf("server got %+v", got)
+	}
+	if respBody != 16*cost.KB {
+		t.Fatalf("client got body %d", respBody)
+	}
+}
+
+func TestMessageOrdering(t *testing.T) {
+	cl, client, server := setup(t)
+	var order []int
+	cl.S.Spawn("server", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			env := server.Recv(p, server.hdr)
+			order = append(order, env.Meta.(int))
+		}
+	})
+	cl.S.Spawn("client", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			client.Send(p, i, 1024*(i+1), client.hdr, tcp.SendOptions{})
+		}
+	})
+	cl.S.Run()
+	if len(order) != 5 {
+		t.Fatalf("received %d messages", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestRecvBeforeSendBlocks(t *testing.T) {
+	cl, client, server := setup(t)
+	var recvAt, sendAt sim.Time
+	cl.S.Spawn("server", func(p *sim.Proc) {
+		server.Recv(p, server.hdr)
+		recvAt = p.Now()
+	})
+	cl.S.Spawn("client", func(p *sim.Proc) {
+		p.Sleep(5 * 1000 * 1000) // 5 ms
+		sendAt = p.Now()
+		client.Send(p, "late", 0, client.hdr, tcp.SendOptions{})
+	})
+	cl.S.Run()
+	if recvAt <= sendAt {
+		t.Fatalf("recv at %v before send at %v", recvAt, sendAt)
+	}
+}
+
+func TestWrapIdempotent(t *testing.T) {
+	_, client, _ := setup(t)
+	if Wrap(client.T) != client {
+		t.Fatal("Wrap created a second wrapper")
+	}
+}
+
+func TestZeroBodyMessages(t *testing.T) {
+	cl, client, server := setup(t)
+	count := 0
+	cl.S.Spawn("server", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			env := server.Recv(p, server.hdr)
+			if env.Body != 0 {
+				t.Errorf("body = %d", env.Body)
+			}
+			count++
+		}
+	})
+	cl.S.Spawn("client", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			client.Send(p, "ping", 0, client.hdr, tcp.SendOptions{})
+		}
+	})
+	cl.S.Run()
+	if count != 3 {
+		t.Fatalf("count = %d", count)
+	}
+}

@@ -1,0 +1,233 @@
+// Package nic models the network interface and its receive path: kernel
+// receive buffers, interrupt coalescing, per-frame protocol processing
+// priced through the cache, transmit segmentation (with or without TSO),
+// and the three I/OAT features — split-header delivery, full-packet vs
+// header-only direct cache placement, and multiple receive queues.
+//
+// Granularity is the chunk: a burst of back-to-back frames delivered by
+// the link layer as one event, with per-frame costs computed in closed
+// form (and through the cache model) inside the chunk.
+package nic
+
+import (
+	"time"
+
+	"ioatsim/internal/cost"
+	"ioatsim/internal/cpu"
+	"ioatsim/internal/dma"
+	"ioatsim/internal/ioat"
+	"ioatsim/internal/link"
+	"ioatsim/internal/mem"
+	"ioatsim/internal/sim"
+)
+
+// Flow is what the NIC needs to know about a transport flow: a stable id
+// for receive-queue hashing and the address of its connection state, whose
+// cache residency the cost model tracks.
+type Flow interface {
+	FlowID() int
+	StateAddr() mem.Addr
+}
+
+// RxChunk is one received burst after protocol processing: the payload
+// sits in kernel buffers awaiting its copy to user space.
+type RxChunk struct {
+	Chunk *link.Chunk
+	Flow  Flow
+	// Bufs holds one kernel buffer per frame; payload fills each up to
+	// the MSS. They are returned to the pool by Free.
+	Bufs []mem.Buffer
+	nic  *NIC
+	// Port is the index of the port the chunk arrived on.
+	Port int
+	// ReadyAt is when softirq processing finished.
+	ReadyAt sim.Time
+}
+
+// Free returns the chunk's kernel buffers to the NIC's pool. The receive
+// path calls this when the owning recv call returns (the skbs stay on the
+// socket queue until then, as in the kernel's net_dma).
+func (rx *RxChunk) Free() {
+	for _, b := range rx.Bufs {
+		rx.nic.rxPool.Put(b)
+	}
+	rx.Bufs = nil
+}
+
+// NIC is one node's network interface: a set of ports sharing the node's
+// receive resources.
+type NIC struct {
+	S    *sim.Simulator
+	P    *cost.Params
+	CPU  *cpu.CPU
+	Mem  *mem.Model
+	DMA  *dma.Engine
+	Feat ioat.Features
+	Node string
+
+	Ports []*link.Port
+
+	rxPool  *mem.Pool
+	hdrRing mem.Buffer
+	hdrOff  int
+
+	// OnReceive is invoked (in event context, after softirq processing)
+	// for every received chunk. The transport installs it.
+	OnReceive func(rx *RxChunk)
+
+	// Stats.
+	RxChunks   int64
+	RxFrames   int64
+	Interrupts int64
+	Evictions  time.Duration // total pollution penalty charged
+}
+
+// New returns a NIC with nports ports attached to the node.
+func New(s *sim.Simulator, p *cost.Params, c *cpu.CPU, m *mem.Model,
+	e *dma.Engine, feat ioat.Features, node string, nports int) *NIC {
+	n := &NIC{S: s, P: p, CPU: c, Mem: m, DMA: e, Feat: feat, Node: node}
+	n.rxPool = mem.NewPool(m.Space, rxBufSize(p))
+	n.hdrRing = m.Space.Alloc(p.HeaderRingBytes, 0)
+	for i := 0; i < nports; i++ {
+		i := i
+		port := link.NewPort(s, node, i, p.PortRateBps, p.PropDelay)
+		port.Deliver = func(c *link.Chunk) { n.deliver(i, c) }
+		n.Ports = append(n.Ports, port)
+	}
+	return n
+}
+
+// rxBufSize picks a kernel receive-buffer size that holds one frame.
+func rxBufSize(p *cost.Params) int {
+	need := p.MSS() + p.HeaderBytes
+	size := p.RxBufSize
+	for size < need {
+		size *= 2
+	}
+	return size
+}
+
+// Port returns port i.
+func (n *NIC) Port(i int) *link.Port { return n.Ports[i] }
+
+// RxCore returns the core that processes receive interrupts for the
+// given flow. Without multiple receive queues, all protocol processing
+// lands on the single CPU that handles the controllers' interrupts
+// (paper §2.2.3: "even on multi-CPU systems, processing occurs on a
+// single CPU"); with them, flows spread across all cores.
+func (n *NIC) RxCore(port int, f Flow) int {
+	if n.Feat.MultiQueue {
+		return f.FlowID() % n.CPU.NumCores()
+	}
+	return 0
+}
+
+// hdrSlot returns the next split-header ring slot (2 lines per frame).
+func (n *NIC) hdrSlot() mem.Addr {
+	slot := n.P.HeaderLines * n.P.CacheLine
+	if n.hdrOff+slot > n.hdrRing.Size {
+		n.hdrOff = 0
+	}
+	a := n.hdrRing.Addr + mem.Addr(n.hdrOff)
+	n.hdrOff += slot
+	return a
+}
+
+// deliver is the link-layer entry point: it prices the interrupt and
+// per-frame protocol work of the chunk, runs it on the flow's receive
+// core, and then hands the chunk to the transport.
+func (n *NIC) deliver(port int, c *link.Chunk) {
+	flow, ok := c.Meta.(Flow)
+	if !ok {
+		panic("nic: chunk without transport flow metadata")
+	}
+	p := n.P
+	frames := c.Frames
+	n.RxChunks++
+	n.RxFrames += int64(frames)
+
+	// Interrupts: the driver coalesces up to CoalesceFrames back-to-back
+	// frames per interrupt.
+	intrs := (frames + p.CoalesceFrames - 1) / p.CoalesceFrames
+	n.Interrupts += int64(intrs)
+	work := time.Duration(intrs) * p.Intr
+
+	// Per-frame driver + protocol work.
+	work += time.Duration(frames) * (p.FrameProc + p.BufMgmt)
+
+	// Buffer placement and header access, frame by frame, through the
+	// cache model.
+	bufs := make([]mem.Buffer, frames)
+	remaining := c.Bytes
+	mss := p.MSS()
+	for i := 0; i < frames; i++ {
+		payload := mss
+		if payload > remaining {
+			payload = remaining
+		}
+		remaining -= payload
+		b := n.rxPool.Get()
+		bufs[i] = b
+
+		switch {
+		case n.Feat.SplitHeader:
+			// Header -> dedicated ring, placed directly in cache;
+			// payload -> kernel buffer, memory only.
+			n.Mem.DMAWrite(b.Addr, payload)
+			slot := n.hdrSlot()
+			n.Mem.InstallHeader(slot, p.HeaderBytes)
+			work += n.Mem.RandomCost(slot, p.HeaderLines)
+		case n.Feat.DMACopy:
+			// I/OAT platform without split headers: the whole frame is
+			// placed in the cache (full-packet DCA); the valid lines it
+			// displaces are the pollution the paper describes.
+			pen := n.Mem.InstallPacket(b.Addr, payload+p.HeaderBytes)
+			n.Evictions += pen
+			work += pen
+			work += n.Mem.RandomCost(b.Addr, p.HeaderLines)
+		default:
+			// Traditional path: NIC DMA to memory, headers read from
+			// DRAM (the cached copy, if any, was just invalidated).
+			n.Mem.DMAWrite(b.Addr, payload+p.HeaderBytes)
+			work += n.Mem.RandomCost(b.Addr, p.HeaderLines)
+		}
+
+		// Connection-state accesses for this frame.
+		work += n.Mem.RandomCost(flow.StateAddr(), p.ConnStateLines)
+	}
+
+	rx := &RxChunk{Chunk: c, Flow: flow, Bufs: bufs, nic: n, Port: port}
+	n.CPU.SubmitOn(n.RxCore(port, flow), work, func() {
+		rx.ReadyAt = n.S.Now()
+		if n.OnReceive == nil {
+			panic("nic: no transport handler installed")
+		}
+		n.OnReceive(rx)
+	})
+}
+
+// TxComplete charges the transmit-completion work (interrupt, descriptor
+// reclaim, skb free) for n payload bytes sent on the given port to the
+// interrupt core. It runs asynchronously to the sending thread.
+func (n *NIC) TxComplete(port int, f Flow, bytes int) {
+	frames := n.P.Frames(bytes)
+	n.CPU.SubmitOn(n.RxCore(port, f), time.Duration(frames)*n.P.TxCompleteFrame, nil)
+}
+
+// TxCost returns the sender-side CPU cost of segmenting and queueing n
+// payload bytes: per-frame work on the host unless TSO lets the NIC
+// segment.
+func (n *NIC) TxCost(bytes int) time.Duration {
+	frames := n.P.Frames(bytes)
+	per := n.P.TxFrame
+	if n.P.TSO {
+		per = n.P.TSOFrame
+	}
+	return time.Duration(frames) * per
+}
+
+// PoolLiveBytes reports the kernel receive buffers currently in use —
+// the receive-path working set whose size drives cache behaviour.
+func (n *NIC) PoolLiveBytes() int {
+	return n.rxPool.Live * n.rxPool.BufSize()
+}

@@ -1,0 +1,332 @@
+// Package pvfs implements a Parallel Virtual File System in the style of
+// PVFS1 (Carns et al., ALS 2000), the paper's §6 workload: a metadata
+// manager providing a cluster-wide name space, I/O daemons (iods) each
+// storing file stripes on a local ramfs, and a client library that
+// stripes reads and writes across all servers in parallel.
+package pvfs
+
+import (
+	"fmt"
+	"time"
+
+	"ioatsim/internal/host"
+	"ioatsim/internal/mem"
+	"ioatsim/internal/msg"
+	"ioatsim/internal/ramfs"
+	"ioatsim/internal/sim"
+	"ioatsim/internal/tcp"
+)
+
+// DefaultStripe is the stripe unit (PVFS's default of 64 KB).
+const DefaultStripe = 64 * 1024
+
+// Application-level cost constants.
+const (
+	// ReqProc is the iod's fixed cost to parse and dispatch one request.
+	ReqProc = 8 * time.Microsecond
+	// MetaOp is the manager's cost for one metadata operation.
+	MetaOp = 25 * time.Microsecond
+)
+
+// FileMeta describes a striped file.
+type FileMeta struct {
+	Name    string
+	Size    int
+	Stripe  int
+	Servers int
+}
+
+// stripeServer returns which iod stores the stripe containing offset.
+func (f FileMeta) stripeServer(off int) int {
+	return (off / f.Stripe) % f.Servers
+}
+
+// opKind is an iod request type.
+type opKind int
+
+const (
+	opRead opKind = iota
+	opWrite
+)
+
+// iodReq is one request to an I/O daemon.
+type iodReq struct {
+	Op   opKind
+	Name string
+	Off  int // offset within the iod's local stripe file
+	Len  int
+}
+
+// metaReq is a manager operation.
+type metaReq struct {
+	Op   string // "create" | "open"
+	Meta FileMeta
+}
+
+// metaResp answers a manager operation.
+type metaResp struct {
+	Meta FileMeta
+	OK   bool
+}
+
+// System is one PVFS deployment: a manager and a set of iods, which the
+// paper co-locates on Testbed 1's server node (one iod per GbE port).
+type System struct {
+	ManagerNode *host.Node
+	IODs        []*IOD
+	meta        map[string]FileMeta
+	stripe      int
+}
+
+// IOD is one I/O daemon.
+type IOD struct {
+	Node  *host.Node
+	Port  int
+	FS    *ramfs.FS
+	index int
+	// staging is the daemon's I/O buffer between socket and file system.
+	staging mem.Buffer
+}
+
+// New builds a PVFS system whose iods all run on serverNode, one per
+// port, storing data in per-iod ramfs instances. The metadata manager
+// runs on the same node (it does not participate in data transfer,
+// paper §3.2).
+func New(serverNode *host.Node, iods int, stripe int) *System {
+	if stripe <= 0 {
+		stripe = DefaultStripe
+	}
+	sys := &System{ManagerNode: serverNode, meta: make(map[string]FileMeta), stripe: stripe}
+	for i := 0; i < iods; i++ {
+		iod := &IOD{
+			Node:    serverNode,
+			Port:    i % len(serverNode.NIC.Ports),
+			FS:      ramfs.New(serverNode.Mem),
+			index:   i,
+			staging: serverNode.Buf(stripe),
+		}
+		sys.IODs = append(sys.IODs, iod)
+		iod.serve()
+	}
+	sys.serveManager()
+	return sys
+}
+
+// serveManager runs the metadata service.
+func (sys *System) serveManager() {
+	l := sys.ManagerNode.Stack.Listen("pvfs-mgr")
+	sys.ManagerNode.S.Spawn("pvfs-mgr-accept", func(p *sim.Proc) {
+		for i := 0; ; i++ {
+			conn := l.Accept(p)
+			sys.ManagerNode.S.Spawn(fmt.Sprintf("pvfs-mgr-%d", i), func(wp *sim.Proc) {
+				sys.managerWorker(wp, msg.Wrap(conn))
+			})
+		}
+	})
+}
+
+func (sys *System) managerWorker(p *sim.Proc, mc *msg.Conn) {
+	for {
+		env := mc.Recv(p, mem.Buffer{})
+		req := env.Meta.(metaReq)
+		sys.ManagerNode.CPU.Exec(p, MetaOp)
+		var resp metaResp
+		switch req.Op {
+		case "create":
+			m := req.Meta
+			m.Stripe = sys.stripe
+			m.Servers = len(sys.IODs)
+			sys.meta[m.Name] = m
+			// Allocate the stripe files on each iod.
+			for i, iod := range sys.IODs {
+				iod.FS.Create(m.Name, localBytes(m, i))
+			}
+			resp = metaResp{Meta: m, OK: true}
+		case "open":
+			m, ok := sys.meta[req.Meta.Name]
+			resp = metaResp{Meta: m, OK: ok}
+		default:
+			panic("pvfs: unknown manager op " + req.Op)
+		}
+		mc.Send(p, resp, 128, mem.Buffer{}, tcp.SendOptions{})
+	}
+}
+
+// localBytes returns how many bytes of an n-byte file land on iod i.
+func localBytes(m FileMeta, i int) int {
+	full := m.Size / m.Stripe
+	rem := m.Size % m.Stripe
+	n := (full / m.Servers) * m.Stripe
+	extra := full % m.Servers
+	if i < extra {
+		n += m.Stripe
+	} else if i == extra {
+		n += rem
+	}
+	if n == 0 {
+		n = m.Stripe // pre-allocate one stripe so offsets stay valid
+	}
+	return n
+}
+
+// serve runs the iod's request loop.
+func (iod *IOD) serve() {
+	service := fmt.Sprintf("pvfs-iod%d", iod.index)
+	l := iod.Node.Stack.Listen(service)
+	iod.Node.S.Spawn(service+"-accept", func(p *sim.Proc) {
+		for i := 0; ; i++ {
+			conn := l.Accept(p)
+			iod.Node.CPU.RegisterThread()
+			iod.Node.S.Spawn(fmt.Sprintf("%s-w%d", service, i), func(wp *sim.Proc) {
+				iod.worker(wp, msg.Wrap(conn))
+			})
+		}
+	})
+}
+
+// worker services one client connection: reads stream file data from the
+// local ramfs to the socket (read + write, the PVFS1 data path), writes
+// land in the local ramfs after the socket receive.
+func (iod *IOD) worker(p *sim.Proc, mc *msg.Conn) {
+	node := iod.Node
+	for {
+		env := mc.Recv(p, iod.staging)
+		req := env.Meta.(iodReq)
+		node.CPU.Exec(p, ReqProc)
+		f := iod.FS.MustOpen(req.Name)
+		switch req.Op {
+		case opRead:
+			// read(): page cache -> staging buffer, then send.
+			node.CPU.Exec(p, iod.FS.ReadCost(f, req.Off, req.Len, iod.staging.Addr))
+			mc.Send(p, "data", req.Len, iod.staging, tcp.SendOptions{})
+		case opWrite:
+			// Data arrived with the request envelope into staging;
+			// write(): staging -> page cache, then ack.
+			node.CPU.Exec(p, iod.FS.WriteCost(f, req.Off, req.Len, iod.staging.Addr))
+			mc.Send(p, "ack", 0, mem.Buffer{}, tcp.SendOptions{})
+		}
+	}
+}
+
+// Client is one compute node's PVFS client library instance.
+type Client struct {
+	sys   *System
+	node  *host.Node
+	mgr   *msg.Conn
+	conns []*msg.Conn // one per iod
+}
+
+// NewClient connects a compute node to the system, one connection per
+// iod (data flows directly between client and iods, paper §3.2). The
+// iod connection for server i uses the client port i%ports, matching the
+// paper's VLAN-per-port wiring.
+func NewClient(p *sim.Proc, node *host.Node, sys *System) *Client {
+	c := &Client{sys: sys, node: node}
+	mgrConn := node.Stack.Dial(p, sys.ManagerNode.Stack, "pvfs-mgr", 0, 0)
+	c.mgr = msg.Wrap(mgrConn)
+	for i, iod := range sys.IODs {
+		ports := len(node.NIC.Ports)
+		conn := node.Stack.Dial(p, iod.Node.Stack,
+			fmt.Sprintf("pvfs-iod%d", i), i%ports, iod.Port)
+		c.conns = append(c.conns, msg.Wrap(conn))
+	}
+	return c
+}
+
+// Create creates a striped file of the given size.
+func (c *Client) Create(p *sim.Proc, name string, size int) FileMeta {
+	c.node.CPU.Exec(p, c.node.P.Syscall)
+	c.mgr.Send(p, metaReq{Op: "create", Meta: FileMeta{Name: name, Size: size}},
+		128, mem.Buffer{}, tcp.SendOptions{})
+	resp := c.mgr.Recv(p, mem.Buffer{}).Meta.(metaResp)
+	if !resp.OK {
+		panic("pvfs: create failed")
+	}
+	return resp.Meta
+}
+
+// Open fetches the metadata for an existing file.
+func (c *Client) Open(p *sim.Proc, name string) (FileMeta, bool) {
+	c.node.CPU.Exec(p, c.node.P.Syscall)
+	c.mgr.Send(p, metaReq{Op: "open", Meta: FileMeta{Name: name}},
+		128, mem.Buffer{}, tcp.SendOptions{})
+	resp := c.mgr.Recv(p, mem.Buffer{}).Meta.(metaResp)
+	return resp.Meta, resp.OK
+}
+
+// span is one stripe-aligned piece of a request on one server.
+type span struct {
+	server   int
+	localOff int
+	len      int
+}
+
+// spans splits [off, off+n) into per-server stripe pieces.
+func (c *Client) spans(m FileMeta, off, n int) []span {
+	var out []span
+	for n > 0 {
+		stripeOff := off % m.Stripe
+		l := m.Stripe - stripeOff
+		if l > n {
+			l = n
+		}
+		srv := m.stripeServer(off)
+		// Local offset: how many full stripes of this file this server
+		// holds before this one, times stripe, plus in-stripe offset.
+		stripeIdx := off / m.Stripe
+		localStripe := stripeIdx / m.Servers
+		out = append(out, span{server: srv, localOff: localStripe*m.Stripe + stripeOff, len: l})
+		off += l
+		n -= l
+	}
+	return out
+}
+
+// Read reads [off, off+n) of the file into dst, issuing the per-server
+// stripe requests in parallel and gathering the results.
+func (c *Client) Read(p *sim.Proc, m FileMeta, off, n int, dst mem.Buffer) {
+	c.parallelIO(p, m, off, n, dst, opRead)
+}
+
+// Write writes [off, off+n) of the file from src, striping in parallel.
+func (c *Client) Write(p *sim.Proc, m FileMeta, off, n int, src mem.Buffer) {
+	c.parallelIO(p, m, off, n, src, opWrite)
+}
+
+// parallelIO fans the spans out to per-server worker processes and waits
+// for all of them — the PVFS client library's parallel data path.
+func (c *Client) parallelIO(p *sim.Proc, m FileMeta, off, n int, buf mem.Buffer, op opKind) {
+	if n <= 0 {
+		return
+	}
+	c.node.CPU.Exec(p, c.node.P.Syscall)
+	perServer := make([][]span, len(c.conns))
+	for _, sp := range c.spans(m, off, n) {
+		perServer[sp.server] = append(perServer[sp.server], sp)
+	}
+	wg := sim.NewWaitGroup(c.node.S)
+	for srv, list := range perServer {
+		if len(list) == 0 {
+			continue
+		}
+		srv, list := srv, list
+		wg.Add(1)
+		c.node.S.Spawn(fmt.Sprintf("pvfs-io-%s-%d", m.Name, srv), func(wp *sim.Proc) {
+			mc := c.conns[srv]
+			for _, sp := range list {
+				switch op {
+				case opRead:
+					mc.Send(wp, iodReq{Op: opRead, Name: m.Name, Off: sp.localOff, Len: sp.len},
+						128, mem.Buffer{}, tcp.SendOptions{})
+					mc.Recv(wp, buf)
+				case opWrite:
+					mc.Send(wp, iodReq{Op: opWrite, Name: m.Name, Off: sp.localOff, Len: sp.len},
+						sp.len, buf, tcp.SendOptions{})
+					mc.Recv(wp, mem.Buffer{})
+				}
+			}
+			wg.Done()
+		})
+	}
+	wg.Wait(p)
+}

@@ -1,0 +1,108 @@
+package ramfs
+
+import (
+	"testing"
+
+	"ioatsim/internal/cost"
+	"ioatsim/internal/mem"
+)
+
+func newFS() *FS {
+	return New(mem.NewModel(cost.Default()))
+}
+
+func TestCreateOpen(t *testing.T) {
+	fs := newFS()
+	f := fs.Create("a.html", 4096)
+	if f.Size() != 4096 {
+		t.Fatalf("size = %d", f.Size())
+	}
+	got, ok := fs.Open("a.html")
+	if !ok || got.Buf.Addr != f.Buf.Addr {
+		t.Fatal("open returned wrong file")
+	}
+	if _, ok := fs.Open("missing"); ok {
+		t.Fatal("opened a missing file")
+	}
+}
+
+func TestCreateReplaces(t *testing.T) {
+	fs := newFS()
+	fs.Create("f", 100)
+	f2 := fs.Create("f", 200)
+	got := fs.MustOpen("f")
+	if got.Size() != 200 || got.Buf.Addr != f2.Buf.Addr {
+		t.Fatal("create did not replace")
+	}
+	if fs.Len() != 1 {
+		t.Fatalf("len = %d", fs.Len())
+	}
+}
+
+func TestRemove(t *testing.T) {
+	fs := newFS()
+	fs.Create("f", 100)
+	if !fs.Remove("f") {
+		t.Fatal("remove failed")
+	}
+	if fs.Remove("f") {
+		t.Fatal("double remove succeeded")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	fs := newFS()
+	for _, n := range []string{"c", "a", "b"} {
+		fs.Create(n, 10)
+	}
+	names := fs.Names()
+	if len(names) != 3 || names[0] != "a" || names[2] != "c" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	fs := newFS()
+	fs.Create("a", 100)
+	fs.Create("b", 200)
+	if fs.TotalBytes() != 300 {
+		t.Fatalf("total = %d", fs.TotalBytes())
+	}
+}
+
+func TestReadWriteCosts(t *testing.T) {
+	fs := newFS()
+	f := fs.Create("data", 64*cost.KB)
+	user := fs.Mem.Space.Alloc(64*cost.KB, 0)
+	cold := fs.ReadCost(f, 0, 64*cost.KB, user.Addr)
+	warm := fs.ReadCost(f, 0, 64*cost.KB, user.Addr)
+	if warm >= cold {
+		t.Fatal("second read not cheaper (page cache warm)")
+	}
+	w := fs.WriteCost(f, 0, 32*cost.KB, user.Addr)
+	if w <= 0 {
+		t.Fatal("write cost zero")
+	}
+}
+
+func TestRangeChecks(t *testing.T) {
+	fs := newFS()
+	f := fs.Create("data", 100)
+	user := fs.Mem.Space.Alloc(100, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range read did not panic")
+		}
+	}()
+	fs.ReadCost(f, 50, 100, user.Addr)
+}
+
+func TestMustOpenPanics(t *testing.T) {
+	fs := newFS()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustOpen on missing file did not panic")
+		}
+	}()
+	fs.MustOpen("nope")
+}

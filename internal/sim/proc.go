@@ -1,0 +1,134 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulation process: sequential code running in its own
+// goroutine, scheduled exclusively by the event loop. Blocking operations
+// (Sleep, channel receive, resource acquire) park the goroutine and hand
+// control back to the event loop; a later event resumes it.
+//
+// All Proc methods must be called from the process's own goroutine.
+type Proc struct {
+	sim    *Simulator
+	name   string
+	resume chan struct{}
+	done   bool
+	dead   bool // set when the process function returned
+}
+
+// Name returns the label the process was spawned with.
+func (p *Proc) Name() string { return p.name }
+
+// Sim returns the owning simulator.
+func (p *Proc) Sim() *Simulator { return p.sim }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.sim.now }
+
+// Spawn starts fn as a simulation process at the current virtual time.
+// fn begins executing when the event loop reaches the spawn event.
+func (s *Simulator) Spawn(name string, fn func(p *Proc)) *Proc {
+	return s.SpawnAfter(0, name, fn)
+}
+
+// SpawnAfter starts fn as a simulation process after delay d.
+func (s *Simulator) SpawnAfter(d Duration, name string, fn func(p *Proc)) *Proc {
+	p := &Proc{sim: s, name: name, resume: make(chan struct{})}
+	s.nprocs++
+	go func() {
+		<-p.resume // wait to be scheduled for the first time
+		fn(p)
+		p.dead = true
+		s.nprocs--
+		s.parked <- struct{}{} // return control to the event loop
+	}()
+	s.Schedule(d, func() { s.runProc(p) })
+	return p
+}
+
+// runProc transfers control to p until it parks or finishes. Called only
+// from event callbacks (the event-loop goroutine).
+func (s *Simulator) runProc(p *Proc) {
+	if p.dead {
+		panic(fmt.Sprintf("sim: resuming dead process %q", p.name))
+	}
+	prev := s.current
+	s.current = p
+	p.resume <- struct{}{}
+	<-s.parked
+	s.current = prev
+}
+
+// park suspends the calling process until the event loop resumes it.
+func (p *Proc) park() {
+	p.sim.parked <- struct{}{}
+	<-p.resume
+}
+
+// Park suspends the calling process until another component wakes it with
+// Simulator.Wake. The caller must have registered itself somewhere a
+// future event can find it, or it sleeps forever.
+func (p *Proc) Park() { p.park() }
+
+// Wake schedules a parked process to resume at the current time.
+func (s *Simulator) Wake(p *Proc) {
+	s.Schedule(0, func() { s.runProc(p) })
+}
+
+// Sleep suspends the process for virtual duration d.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative sleep %v", d))
+	}
+	p.sim.Schedule(d, func() { p.sim.runProc(p) })
+	p.park()
+}
+
+// Yield reschedules the process at the current time behind already-pending
+// same-time events.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// completion is a one-shot event a process can wait on. It is safe to
+// Complete before or after Wait begins; Wait returns immediately if the
+// completion already fired.
+type completion struct {
+	sim    *Simulator
+	done   bool
+	waiter *Proc
+}
+
+// NewCompletion returns a one-shot completion bound to the simulator.
+func (s *Simulator) NewCompletion() *Completion {
+	return &Completion{c: completion{sim: s}}
+}
+
+// Completion is a one-shot synchronization point: one waiter, one signal.
+type Completion struct{ c completion }
+
+// Done reports whether Complete has been called.
+func (c *Completion) Done() bool { return c.c.done }
+
+// Complete fires the completion, waking the waiter if one is parked.
+// Completing twice panics: that always indicates a protocol bug.
+func (c *Completion) Complete() {
+	if c.c.done {
+		panic("sim: completion fired twice")
+	}
+	c.c.done = true
+	if w := c.c.waiter; w != nil {
+		c.c.waiter = nil
+		c.c.sim.Schedule(0, func() { c.c.sim.runProc(w) })
+	}
+}
+
+// Wait parks p until Complete is called. Only one process may wait.
+func (c *Completion) Wait(p *Proc) {
+	if c.c.done {
+		return
+	}
+	if c.c.waiter != nil {
+		panic("sim: second waiter on completion")
+	}
+	c.c.waiter = p
+	p.park()
+}

@@ -1,0 +1,156 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine keeps a virtual clock (nanosecond resolution) and an event
+// heap ordered by (time, sequence). Work can be expressed either as plain
+// callback events (Schedule/At) or as blocking processes (Spawn) that run
+// in their own goroutines but are scheduled strictly one at a time by the
+// event loop, so every run is deterministic.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a virtual timestamp in nanoseconds since the start of the run.
+type Time int64
+
+// Duration re-exports time.Duration for convenience in simulation code.
+type Duration = time.Duration
+
+// String formats the timestamp as a duration since the start of the run.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Add returns the timestamp advanced by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed between u and t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns the timestamp as fractional seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// event is a single scheduled callback.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator owns the virtual clock and the pending event set.
+// The zero value is not usable; call New.
+type Simulator struct {
+	now     Time
+	heap    eventHeap
+	seq     uint64
+	stopped bool
+
+	// Process scheduling handshake. While a process goroutine runs, the
+	// event loop blocks on parked, so exactly one goroutine ever touches
+	// simulator state at a time.
+	parked  chan struct{}
+	current *Proc
+	nprocs  int
+
+	// executed counts events dispatched, for diagnostics and tests.
+	executed uint64
+}
+
+// New returns an empty simulator with the clock at zero.
+func New() *Simulator {
+	return &Simulator{parked: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Executed reports how many events have been dispatched so far.
+func (s *Simulator) Executed() uint64 { return s.executed }
+
+// Pending reports how many events are scheduled but not yet dispatched.
+func (s *Simulator) Pending() int { return len(s.heap) }
+
+// Schedule arranges for fn to run after delay d. A negative delay panics:
+// simulated time cannot move backwards.
+func (s *Simulator) Schedule(d Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	s.At(s.now.Add(d), fn)
+}
+
+// At arranges for fn to run at absolute time t, which must not precede the
+// current time.
+func (s *Simulator) At(t Time, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.heap, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// Stop makes Run return after the current event completes. Pending events
+// stay in the heap; a subsequent Run resumes them.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Run dispatches events in (time, sequence) order until the heap is empty
+// or Stop is called. It returns the time of the last dispatched event.
+func (s *Simulator) Run() Time {
+	return s.RunUntil(Time(1<<63 - 1))
+}
+
+// RunUntil dispatches events with timestamps <= deadline, then advances
+// the clock to min(deadline, last event time) and returns it. Events
+// beyond the deadline remain pending.
+func (s *Simulator) RunUntil(deadline Time) Time {
+	s.stopped = false
+	for len(s.heap) > 0 && !s.stopped {
+		if s.heap[0].at > deadline {
+			s.now = deadline
+			return s.now
+		}
+		e := heap.Pop(&s.heap).(*event)
+		s.now = e.at
+		s.executed++
+		e.fn()
+	}
+	if s.now < deadline && deadline != Time(1<<63-1) {
+		s.now = deadline
+	}
+	return s.now
+}
+
+// Step dispatches exactly one event if any is pending and reports whether
+// it did so.
+func (s *Simulator) Step() bool {
+	if len(s.heap) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.heap).(*event)
+	s.now = e.at
+	s.executed++
+	e.fn()
+	return true
+}

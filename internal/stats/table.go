@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders a Series as a fixed-width text table in the style of the
+// paper's figures: one row per x value, one column per metric.
+func (s *Series) Table() string {
+	var b strings.Builder
+	headers := append([]string{s.XLabel}, s.Columns...)
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	rows := make([][]string, 0, len(s.Points))
+	for _, p := range s.Points {
+		row := make([]string, 0, len(headers))
+		label := p.Label
+		if label == "" {
+			label = trimFloat(p.X)
+		}
+		row = append(row, label)
+		for _, c := range s.Columns {
+			row = append(row, formatValue(p.Values[c]))
+		}
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+		rows = append(rows, row)
+	}
+
+	fmt.Fprintf(&b, "== %s ==\n", s.Name)
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+func trimFloat(x float64) string {
+	if x == float64(int64(x)) {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%g", x)
+}
+
+func formatValue(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case v == float64(int64(v)) && av < 1e7:
+		return fmt.Sprintf("%d", int64(v))
+	case av >= 100:
+		return fmt.Sprintf("%.1f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}

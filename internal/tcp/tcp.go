@@ -1,0 +1,412 @@
+// Package tcp models a reliable, in-order byte-stream transport over the
+// simulated fabric, with the paper's sender- and receiver-side CPU cost
+// structure:
+//
+//   - sender: syscall per socket-buffer write, user-to-kernel copy (unless
+//     sendfile-style zero copy), per-frame segmentation (unless TSO), and
+//     ACK processing;
+//   - receiver: interrupts + per-frame protocol work (priced by the NIC
+//     through the cache model), then a kernel-to-user copy performed
+//     either by the CPU (through the cache) or by the I/OAT engine
+//     (startup cost only, overlapped).
+//
+// Flow control is credit-based with a window of one socket buffer; the
+// fabric is lossless, so there is no retransmission (the paper's testbed
+// is a switched LAN measured in steady state).
+package tcp
+
+import (
+	"fmt"
+	"time"
+
+	"ioatsim/internal/cost"
+	"ioatsim/internal/cpu"
+	"ioatsim/internal/dma"
+	"ioatsim/internal/ioat"
+	"ioatsim/internal/link"
+	"ioatsim/internal/mem"
+	"ioatsim/internal/nic"
+	"ioatsim/internal/sim"
+)
+
+// Stack is one node's transport instance.
+type Stack struct {
+	S    *sim.Simulator
+	P    *cost.Params
+	CPU  *cpu.CPU
+	Mem  *mem.Model
+	DMA  *dma.Engine
+	NIC  *nic.NIC
+	Feat ioat.Features
+	Name string
+
+	listeners map[string]*Listener
+	txPool    *mem.Pool
+	nextFlow  int
+
+	// Stats.
+	BytesSent     int64
+	BytesReceived int64
+}
+
+// NewStack wires a transport onto the node's NIC and installs the receive
+// handler.
+func NewStack(s *sim.Simulator, p *cost.Params, c *cpu.CPU, m *mem.Model,
+	e *dma.Engine, n *nic.NIC, feat ioat.Features, name string) *Stack {
+	st := &Stack{
+		S: s, P: p, CPU: c, Mem: m, DMA: e, NIC: n, Feat: feat, Name: name,
+		listeners: make(map[string]*Listener),
+		txPool:    mem.NewPool(m.Space, p.ChunkMax),
+	}
+	n.OnReceive = st.onReceive
+	return st
+}
+
+// Listener accepts inbound connections for one named service.
+type Listener struct {
+	stack   *Stack
+	service string
+	backlog *sim.Chan[*Conn]
+}
+
+// Listen registers a service name on this stack.
+func (st *Stack) Listen(service string) *Listener {
+	if _, dup := st.listeners[service]; dup {
+		panic(fmt.Sprintf("tcp: duplicate listener %q on %s", service, st.Name))
+	}
+	l := &Listener{stack: st, service: service, backlog: sim.NewChan[*Conn](st.S)}
+	st.listeners[service] = l
+	return l
+}
+
+// Accept blocks until a connection arrives and returns its server-side
+// endpoint.
+func (l *Listener) Accept(p *sim.Proc) *Conn {
+	l.stack.CPU.Exec(p, l.stack.P.Syscall)
+	c, ok := l.backlog.Recv(p)
+	if !ok {
+		panic("tcp: listener closed")
+	}
+	l.stack.CPU.Exec(p, l.stack.P.ContextSwitch)
+	return c
+}
+
+// pending is one received chunk queued on a connection, partially
+// consumable. Kernel buffers are freed when the owning recv call returns.
+type pending struct {
+	rx  *nic.RxChunk
+	off int // consumed payload bytes
+	dma *sim.Completion
+}
+
+func (pd *pending) remaining() int { return pd.rx.Chunk.Bytes - pd.off }
+
+// Conn is one endpoint of an established connection.
+type Conn struct {
+	stack *Stack
+	peer  *Conn
+
+	flowID    int
+	state     mem.Buffer
+	localPort int
+	peerPort  int
+	userData  any
+
+	// Receive side.
+	rxq      []*pending
+	rxAvail  int
+	rxWaiter *sim.Proc
+	posted   bool // a recv is posted (enables eager DMA submit)
+
+	// Transmit side (flow control).
+	window    int
+	inflight  int
+	txWaiters []*sim.Proc
+}
+
+// Peer returns the other endpoint of the connection.
+func (c *Conn) Peer() *Conn { return c.peer }
+
+// Stack returns the owning transport stack.
+func (c *Conn) Stack() *Stack { return c.stack }
+
+// UserData carries a higher layer's per-endpoint state (e.g. the framed
+// message wrapper).
+func (c *Conn) UserData() any { return c.userData }
+
+// SetUserData attaches higher-layer state to the endpoint.
+func (c *Conn) SetUserData(v any) { c.userData = v }
+
+// FlowID implements nic.Flow.
+func (c *Conn) FlowID() int { return c.flowID }
+
+// StateAddr implements nic.Flow.
+func (c *Conn) StateAddr() mem.Addr { return c.state.Addr }
+
+// LocalPort returns the index of the NIC port this endpoint uses.
+func (c *Conn) LocalPort() int { return c.localPort }
+
+// newConn builds one endpoint on st using local port lp, speaking to
+// remote port rp.
+func (st *Stack) newConn(lp, rp int) *Conn {
+	st.nextFlow++
+	return &Conn{
+		stack:     st,
+		flowID:    st.nextFlow,
+		state:     st.Mem.Space.Alloc(st.P.ConnStateLines*st.P.CacheLine, 0),
+		localPort: lp,
+		peerPort:  rp,
+		window:    st.P.SockBuf,
+	}
+}
+
+// Dial establishes a connection from this stack to the named service on
+// the remote stack, using localPort on this node and remotePort on the
+// remote node. It charges the connection-setup syscall and one round
+// trip, then enqueues the server endpoint on the remote listener backlog.
+func (st *Stack) Dial(p *sim.Proc, remote *Stack, service string, localPort, remotePort int) *Conn {
+	l, ok := remote.listeners[service]
+	if !ok {
+		panic(fmt.Sprintf("tcp: no listener %q on %s", service, remote.Name))
+	}
+	cl := st.newConn(localPort, remotePort)
+	sv := remote.newConn(remotePort, localPort)
+	cl.peer, sv.peer = sv, cl
+
+	st.CPU.Exec(p, st.P.Syscall)
+	// SYN + SYN/ACK round trip.
+	p.Sleep(2 * st.P.PropDelay)
+	remote.CPU.Submit(remote.P.Syscall, func() { l.backlog.Send(sv) })
+	return cl
+}
+
+// Pair establishes a connection without the handshake costs — a helper
+// for tests and for pre-built topologies.
+func Pair(a, b *Stack, portA, portB int) (*Conn, *Conn) {
+	ca := a.newConn(portA, portB)
+	cb := b.newConn(portB, portA)
+	ca.peer, cb.peer = cb, ca
+	return ca, cb
+}
+
+// SendOptions modify one Send call.
+type SendOptions struct {
+	// ZeroCopy skips the user-to-kernel copy (the sendfile() path: the
+	// kernel transmits straight from pinned page-cache pages).
+	ZeroCopy bool
+}
+
+// Send transmits n bytes whose source is the user buffer src (cycled if
+// smaller than n), blocking the calling process for the CPU portions and
+// for window stalls. It returns when the last byte has been handed to
+// the NIC.
+func (c *Conn) Send(p *sim.Proc, src mem.Buffer, n int) {
+	c.SendOpts(p, src, n, SendOptions{})
+}
+
+// SendOpts is Send with options.
+func (c *Conn) SendOpts(p *sim.Proc, src mem.Buffer, n int, opts SendOptions) {
+	st := c.stack
+	pm := st.P
+	sent := 0
+	for sent < n {
+		// Window stall: wait for credit.
+		for c.inflight >= c.window {
+			c.txWaiters = append(c.txWaiters, p)
+			p.Park()
+			st.CPU.Exec(p, st.CPU.WakeCost())
+		}
+		chunk := n - sent
+		if chunk > pm.ChunkMax {
+			chunk = pm.ChunkMax
+		}
+		if free := c.window - c.inflight; chunk > free {
+			chunk = free
+		}
+
+		var work time.Duration = pm.Syscall
+		if !opts.ZeroCopy {
+			kb := st.txPool.Get()
+			srcOff := 0
+			if src.Size > chunk {
+				srcOff = sent % (src.Size - chunk + 1)
+			}
+			work += st.Mem.CopyCost(src.Addr+mem.Addr(srcOff), kb.Addr, chunk)
+			st.txPool.Put(kb)
+		}
+		work += st.NIC.TxCost(chunk)
+		st.CPU.Exec(p, work)
+
+		c.inflight += chunk
+		st.BytesSent += int64(chunk)
+		lc := &link.Chunk{
+			Bytes:     chunk,
+			Frames:    pm.Frames(chunk),
+			WireBytes: pm.WireBytes(chunk),
+			Meta:      c.peer,
+		}
+		st.NIC.Port(c.localPort).Send(c.peer.stack.NIC.Port(c.peerPort), lc)
+		st.NIC.TxComplete(c.localPort, c, chunk)
+		sent += chunk
+	}
+}
+
+// onReceive is the NIC handler: queue the chunk on its connection, start
+// the engine copy eagerly if a recv is posted, and wake the reader.
+func (st *Stack) onReceive(rx *nic.RxChunk) {
+	c, ok := rx.Flow.(*Conn)
+	if !ok {
+		panic("tcp: chunk for foreign flow")
+	}
+	pd := &pending{rx: rx}
+	if st.Feat.DMACopy && c.posted {
+		st.submitDMA(c, pd, nil)
+	}
+	c.rxq = append(c.rxq, pd)
+	c.rxAvail += rx.Chunk.Bytes
+	st.BytesReceived += int64(rx.Chunk.Bytes)
+	if w := c.rxWaiter; w != nil {
+		c.rxWaiter = nil
+		st.S.Wake(w)
+	}
+}
+
+// submitDMA hands a whole chunk's payload to the copy engine. The per-
+// frame submit cost lands on the rx core when issued from softirq context
+// (proc == nil) or blocks the reader when issued from recv.
+func (st *Stack) submitDMA(c *Conn, pd *pending, p *sim.Proc) {
+	frames := pd.rx.Chunk.Frames
+	submit := time.Duration(frames) * st.P.DMAFrameSubmit
+	if p != nil {
+		st.CPU.Exec(p, submit)
+	} else {
+		st.CPU.SubmitOn(st.NIC.RxCore(pd.rx.Port, c), submit, nil)
+	}
+	// Destination: the posted user buffer region. Address identity only
+	// matters for cache bookkeeping (the engine invalidates it).
+	pd.dma = st.DMA.Submit(pd.rx.Bufs[0].Addr, 0, pd.rx.Chunk.Bytes)
+}
+
+// Recv consumes exactly n bytes of the stream into the user buffer dst
+// (cycled if smaller), blocking until they have arrived and been copied —
+// by the CPU through the cache, or by the I/OAT engine. Kernel buffers
+// are retained until this call returns (the net_dma skb lifetime), so
+// large in-flight messages hold a large receive-path working set.
+func (c *Conn) Recv(p *sim.Proc, dst mem.Buffer, n int) {
+	st := c.stack
+	pm := st.P
+	if n <= 0 {
+		return
+	}
+	if st.Feat.DMACopy {
+		// Pin the posted buffer once per recv call.
+		st.CPU.Exec(p, time.Duration(pm.Pages(n))*pm.PinPerPage)
+	}
+	c.posted = true
+	var done []*pending
+	need := n
+	off := 0
+	for need > 0 {
+		for c.rxAvail == 0 {
+			if c.rxWaiter != nil {
+				panic("tcp: concurrent Recv on one connection")
+			}
+			c.rxWaiter = p
+			p.Park()
+			st.CPU.Exec(p, st.CPU.WakeCost())
+		}
+		pd := c.rxq[0]
+		m := pd.remaining()
+		if m > need {
+			m = need
+		}
+
+		work := pm.Syscall
+		if st.Feat.DMACopy {
+			if pd.dma == nil {
+				st.submitDMA(c, pd, p)
+			}
+			st.CPU.Exec(p, work)
+			pd.dma.Wait(p)
+		} else {
+			work += c.copyCost(pd, m, dst, off)
+			st.CPU.Exec(p, work)
+		}
+
+		pd.off += m
+		c.rxAvail -= m
+		need -= m
+		off = (off + m) % maxInt(dst.Size, 1)
+		if pd.remaining() == 0 {
+			c.rxq = c.rxq[1:]
+			done = append(done, pd)
+		}
+		c.credit(m)
+	}
+	c.posted = false
+	for _, pd := range done {
+		pd.rx.Free()
+	}
+}
+
+// copyCost prices the CPU copy of m bytes from the chunk's kernel buffers
+// (starting at the chunk's consumed offset) into dst+dstOff, through the
+// cache.
+func (c *Conn) copyCost(pd *pending, m int, dst mem.Buffer, dstOff int) time.Duration {
+	st := c.stack
+	mss := st.P.MSS()
+	var total time.Duration
+	remaining := m
+	pos := pd.off
+	for remaining > 0 {
+		frame := pos / mss
+		frameOff := pos % mss
+		seg := mss - frameOff
+		if seg > remaining {
+			seg = remaining
+		}
+		if frame >= len(pd.rx.Bufs) {
+			frame = len(pd.rx.Bufs) - 1
+		}
+		src := pd.rx.Bufs[frame].Addr + mem.Addr(frameOff)
+		dOff := 0
+		if dst.Size > seg {
+			dOff = dstOff % (dst.Size - seg + 1)
+		}
+		total += st.Mem.CopyCost(src, dst.Addr+mem.Addr(dOff), seg)
+		pos += seg
+		dstOff += seg
+		remaining -= seg
+	}
+	return total
+}
+
+// credit returns m bytes of window to the sender after the ACK delay and
+// charges the sender's ACK processing (one delayed ACK per two frames).
+func (c *Conn) credit(m int) {
+	peer := c.peer
+	st := c.stack
+	acks := (st.P.Frames(m) + 1) / 2
+	st.S.Schedule(st.P.PropDelay, func() {
+		peer.stack.CPU.Submit(time.Duration(acks)*peer.stack.P.AckProc, nil)
+		peer.inflight -= m
+		if peer.inflight < 0 {
+			panic("tcp: negative inflight")
+		}
+		for len(peer.txWaiters) > 0 && peer.inflight < peer.window {
+			w := peer.txWaiters[0]
+			peer.txWaiters = peer.txWaiters[1:]
+			peer.stack.S.Wake(w)
+		}
+	})
+}
+
+// Available reports how many received bytes are queued and unconsumed.
+func (c *Conn) Available() int { return c.rxAvail }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,380 @@
+package tcp
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ioatsim/internal/cost"
+	"ioatsim/internal/cpu"
+	"ioatsim/internal/dma"
+	"ioatsim/internal/ioat"
+	"ioatsim/internal/mem"
+	"ioatsim/internal/nic"
+	"ioatsim/internal/sim"
+)
+
+type node struct {
+	st *Stack
+}
+
+func newNode(s *sim.Simulator, p *cost.Params, feat ioat.Features, name string, ports int) *node {
+	m := mem.NewModel(p)
+	c := cpu.New(s, p)
+	e := dma.New(s, p, m)
+	n := nic.New(s, p, c, m, e, feat, name, ports)
+	return &node{st: NewStack(s, p, c, m, e, n, feat, name)}
+}
+
+func (n *node) buf(size int) mem.Buffer { return n.st.Mem.Space.Alloc(size, 0) }
+
+func twoNodes(feat ioat.Features, p *cost.Params) (*sim.Simulator, *node, *node) {
+	s := sim.New()
+	a := newNode(s, p, feat, "a", 6)
+	b := newNode(s, p, feat, "b", 6)
+	return s, a, b
+}
+
+func TestStreamDelivery(t *testing.T) {
+	p := cost.Default()
+	s, a, b := twoNodes(ioat.None(), p)
+	ca, cb := Pair(a.st, b.st, 0, 0)
+	const n = 256 * cost.KB
+	var got int
+	src := a.buf(64 * cost.KB)
+	dst := b.buf(64 * cost.KB)
+	s.Spawn("tx", func(pr *sim.Proc) { ca.Send(pr, src, n) })
+	s.Spawn("rx", func(pr *sim.Proc) {
+		cb.Recv(pr, dst, n)
+		got = n
+	})
+	end := s.Run()
+	if got != n {
+		t.Fatal("receiver did not get all bytes")
+	}
+	if a.st.BytesSent != n || b.st.BytesReceived != n {
+		t.Fatalf("accounting: sent=%d recv=%d", a.st.BytesSent, b.st.BytesReceived)
+	}
+	// 256 KB at ~941 Mb/s goodput is ~2.2 ms; allow up to 4 ms.
+	if end > sim.Time(4*time.Millisecond) {
+		t.Fatalf("transfer took %v, far above wire time", end)
+	}
+}
+
+func TestThroughputNearLineRate(t *testing.T) {
+	p := cost.Default()
+	s, a, b := twoNodes(ioat.None(), p)
+	ca, cb := Pair(a.st, b.st, 0, 0)
+	const n = 8 * cost.MB
+	src := a.buf(64 * cost.KB)
+	dst := b.buf(64 * cost.KB)
+	s.Spawn("tx", func(pr *sim.Proc) { ca.Send(pr, src, n) })
+	var done sim.Time
+	s.Spawn("rx", func(pr *sim.Proc) {
+		cb.Recv(pr, dst, n)
+		done = pr.Now()
+	})
+	s.Run()
+	mbps := float64(n*8) / time.Duration(done).Seconds() / 1e6
+	if mbps < 850 || mbps > 945 {
+		t.Fatalf("single-port goodput = %.1f Mb/s, want ~900-941", mbps)
+	}
+}
+
+func TestWindowBlocksSender(t *testing.T) {
+	p := cost.Default()
+	p.SockBuf = 128 * cost.KB
+	s, a, b := twoNodes(ioat.None(), p)
+	ca, cb := Pair(a.st, b.st, 0, 0)
+	src := a.buf(64 * cost.KB)
+	dst := b.buf(64 * cost.KB)
+	var sendDone, recvStart sim.Time = -1, -1
+	s.Spawn("tx", func(pr *sim.Proc) {
+		ca.Send(pr, src, 1*cost.MB)
+		sendDone = pr.Now()
+	})
+	s.Spawn("rx", func(pr *sim.Proc) {
+		pr.Sleep(20 * time.Millisecond) // receiver absent: window must cap flight
+		recvStart = pr.Now()
+		cb.Recv(pr, dst, 1*cost.MB)
+	})
+	s.Run()
+	if sendDone < 0 {
+		t.Fatal("sender never finished")
+	}
+	if sendDone < recvStart {
+		t.Fatalf("sender finished at %v before receiver started at %v — window did not block", sendDone, recvStart)
+	}
+	if got := cb.Available(); got != 0 {
+		t.Fatalf("unconsumed bytes: %d", got)
+	}
+}
+
+func TestInflightNeverExceedsWindow(t *testing.T) {
+	p := cost.Default()
+	p.SockBuf = 128 * cost.KB
+	s, a, b := twoNodes(ioat.None(), p)
+	ca, cb := Pair(a.st, b.st, 0, 0)
+	src := a.buf(64 * cost.KB)
+	dst := b.buf(64 * cost.KB)
+	s.Spawn("tx", func(pr *sim.Proc) { ca.Send(pr, src, 2*cost.MB) })
+	s.Spawn("rx", func(pr *sim.Proc) { cb.Recv(pr, dst, 2*cost.MB) })
+	bad := false
+	var watch func()
+	watch = func() {
+		if ca.inflight > ca.window {
+			bad = true
+		}
+		if s.Pending() > 0 {
+			s.Schedule(100*time.Microsecond, watch)
+		}
+	}
+	s.Schedule(0, watch)
+	s.Run()
+	if bad {
+		t.Fatal("inflight exceeded window")
+	}
+}
+
+func TestIOATUsesLessCPU(t *testing.T) {
+	// The core claim (Fig. 3a): same transfer, same bandwidth, lower
+	// receiver CPU with I/OAT.
+	busy := func(feat ioat.Features) (time.Duration, sim.Time) {
+		p := cost.Default()
+		s, a, b := twoNodes(feat, p)
+		ca, cb := Pair(a.st, b.st, 0, 0)
+		src := a.buf(64 * cost.KB)
+		dst := b.buf(64 * cost.KB)
+		var done sim.Time
+		s.Spawn("tx", func(pr *sim.Proc) { ca.Send(pr, src, 4*cost.MB) })
+		s.Spawn("rx", func(pr *sim.Proc) {
+			cb.Recv(pr, dst, 4*cost.MB)
+			done = pr.Now()
+		})
+		s.Run()
+		return b.st.CPU.BusyTime(), done
+	}
+	plainBusy, plainDone := busy(ioat.None())
+	ioatBusy, ioatDone := busy(ioat.Linux())
+	if ioatBusy >= plainBusy {
+		t.Fatalf("I/OAT receiver CPU %v not below non-I/OAT %v", ioatBusy, plainBusy)
+	}
+	// Both should be wire-limited: completion times within 5%.
+	ratio := float64(ioatDone) / float64(plainDone)
+	if ratio < 0.90 || ratio > 1.10 {
+		t.Fatalf("completion ratio %v — link-bound transfers should tie", ratio)
+	}
+	// Relative CPU benefit should be substantial (paper: ~20-38%).
+	rel := float64(plainBusy-ioatBusy) / float64(plainBusy)
+	if rel < 0.10 {
+		t.Fatalf("relative CPU benefit only %.1f%%", rel*100)
+	}
+}
+
+func TestDialAccept(t *testing.T) {
+	p := cost.Default()
+	s, a, b := twoNodes(ioat.None(), p)
+	l := b.st.Listen("svc")
+	var msg int
+	src := a.buf(4 * cost.KB)
+	dst := b.buf(4 * cost.KB)
+	s.Spawn("client", func(pr *sim.Proc) {
+		c := a.st.Dial(pr, b.st, "svc", 0, 0)
+		c.Send(pr, src, 4*cost.KB)
+	})
+	s.Spawn("server", func(pr *sim.Proc) {
+		c := l.Accept(pr)
+		c.Recv(pr, dst, 4*cost.KB)
+		msg = 4 * cost.KB
+	})
+	s.Run()
+	if msg != 4*cost.KB {
+		t.Fatal("request never arrived through Dial/Accept")
+	}
+}
+
+func TestDuplicateListenPanics(t *testing.T) {
+	p := cost.Default()
+	_, _, b := twoNodes(ioat.None(), p)
+	b.st.Listen("svc")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for duplicate listener")
+		}
+	}()
+	b.st.Listen("svc")
+}
+
+func TestZeroCopySendCheaper(t *testing.T) {
+	busy := func(zc bool) time.Duration {
+		p := cost.Default()
+		s, a, b := twoNodes(ioat.None(), p)
+		ca, cb := Pair(a.st, b.st, 0, 0)
+		src := a.buf(64 * cost.KB)
+		dst := b.buf(64 * cost.KB)
+		s.Spawn("tx", func(pr *sim.Proc) {
+			ca.SendOpts(pr, src, 4*cost.MB, SendOptions{ZeroCopy: zc})
+		})
+		s.Spawn("rx", func(pr *sim.Proc) { cb.Recv(pr, dst, 4*cost.MB) })
+		s.Run()
+		return a.st.CPU.BusyTime()
+	}
+	if busy(true) >= busy(false) {
+		t.Fatal("sendfile-style zero copy did not reduce sender CPU")
+	}
+}
+
+func TestTSOReducesSenderCPU(t *testing.T) {
+	busy := func(tso bool) time.Duration {
+		p := cost.Default()
+		p.TSO = tso
+		s, a, b := twoNodes(ioat.None(), p)
+		ca, cb := Pair(a.st, b.st, 0, 0)
+		src := a.buf(64 * cost.KB)
+		dst := b.buf(64 * cost.KB)
+		s.Spawn("tx", func(pr *sim.Proc) { ca.Send(pr, src, 4*cost.MB) })
+		s.Spawn("rx", func(pr *sim.Proc) { cb.Recv(pr, dst, 4*cost.MB) })
+		s.Run()
+		return a.st.CPU.BusyTime()
+	}
+	if busy(true) >= busy(false) {
+		t.Fatal("TSO did not reduce sender CPU")
+	}
+}
+
+func TestMultiPortScalesBandwidth(t *testing.T) {
+	run := func(ports int) float64 {
+		p := cost.Default()
+		s, a, b := twoNodes(ioat.Linux(), p)
+		var done sim.Time
+		wg := sim.NewWaitGroup(s)
+		wg.Add(ports)
+		const per = 4 * cost.MB
+		for i := 0; i < ports; i++ {
+			i := i
+			ca, cb := Pair(a.st, b.st, i, i)
+			src := a.buf(64 * cost.KB)
+			dst := b.buf(64 * cost.KB)
+			s.Spawn("tx", func(pr *sim.Proc) { ca.Send(pr, src, per) })
+			s.Spawn("rx", func(pr *sim.Proc) {
+				cb.Recv(pr, dst, per)
+				wg.Done()
+			})
+		}
+		s.Spawn("main", func(pr *sim.Proc) {
+			wg.Wait(pr)
+			done = pr.Now()
+		})
+		s.Run()
+		return float64(ports*per*8) / time.Duration(done).Seconds() / 1e6
+	}
+	one := run(1)
+	four := run(4)
+	if four < 3*one {
+		t.Fatalf("4 ports = %.0f Mb/s, 1 port = %.0f — poor scaling", four, one)
+	}
+}
+
+func TestDeterministicTransfers(t *testing.T) {
+	run := func() sim.Time {
+		p := cost.Default()
+		s, a, b := twoNodes(ioat.Linux(), p)
+		ca, cb := Pair(a.st, b.st, 0, 0)
+		src := a.buf(64 * cost.KB)
+		dst := b.buf(64 * cost.KB)
+		var done sim.Time
+		s.Spawn("tx", func(pr *sim.Proc) { ca.Send(pr, src, 1*cost.MB) })
+		s.Spawn("rx", func(pr *sim.Proc) {
+			cb.Recv(pr, dst, 1*cost.MB)
+			done = pr.Now()
+		})
+		s.Run()
+		return done
+	}
+	if run() != run() {
+		t.Fatal("identical runs diverged")
+	}
+}
+
+func TestMessageBoundariesAcrossChunks(t *testing.T) {
+	// Header-then-body reads that straddle chunk boundaries must work.
+	p := cost.Default()
+	s, a, b := twoNodes(ioat.None(), p)
+	ca, cb := Pair(a.st, b.st, 0, 0)
+	src := a.buf(64 * cost.KB)
+	dst := b.buf(64 * cost.KB)
+	total := 0
+	s.Spawn("tx", func(pr *sim.Proc) {
+		ca.Send(pr, src, 200*cost.KB) // > 3 chunks
+	})
+	s.Spawn("rx", func(pr *sim.Proc) {
+		for _, n := range []int{64, 100*cost.KB - 64, 100 * cost.KB} {
+			cb.Recv(pr, dst, n)
+			total += n
+		}
+	})
+	s.Run()
+	if total != 200*cost.KB {
+		t.Fatalf("consumed %d, want %d", total, 200*cost.KB)
+	}
+}
+
+func TestKernelBuffersReleased(t *testing.T) {
+	p := cost.Default()
+	s, a, b := twoNodes(ioat.Linux(), p)
+	ca, cb := Pair(a.st, b.st, 0, 0)
+	src := a.buf(64 * cost.KB)
+	dst := b.buf(64 * cost.KB)
+	s.Spawn("tx", func(pr *sim.Proc) { ca.Send(pr, src, 2*cost.MB) })
+	s.Spawn("rx", func(pr *sim.Proc) { cb.Recv(pr, dst, 2*cost.MB) })
+	s.Run()
+	if live := b.st.NIC.PoolLiveBytes(); live != 0 {
+		t.Fatalf("kernel buffer leak: %d bytes live", live)
+	}
+}
+
+// Property: any sequence of message sizes is delivered completely and in
+// order, regardless of feature set, and kernel buffers drain.
+func TestTransferConservationProperty(t *testing.T) {
+	run := func(sizes []uint16, accel bool) bool {
+		p := cost.Default()
+		feat := ioat.None()
+		if accel {
+			feat = ioat.Linux()
+		}
+		s, a, b := twoNodes(feat, p)
+		ca, cb := Pair(a.st, b.st, 0, 0)
+		src, dst := a.buf(64*cost.KB), b.buf(64*cost.KB)
+		var total int64
+		msgs := make([]int, 0, len(sizes))
+		for _, sz := range sizes {
+			n := int(sz)%(200*cost.KB) + 1
+			msgs = append(msgs, n)
+			total += int64(n)
+		}
+		if len(msgs) == 0 {
+			return true
+		}
+		s.Spawn("tx", func(pr *sim.Proc) {
+			for _, n := range msgs {
+				ca.Send(pr, src, n)
+			}
+		})
+		received := false
+		s.Spawn("rx", func(pr *sim.Proc) {
+			for _, n := range msgs {
+				cb.Recv(pr, dst, n)
+			}
+			received = true
+		})
+		s.Run()
+		return received &&
+			a.st.BytesSent == total &&
+			b.st.BytesReceived == total &&
+			b.st.NIC.PoolLiveBytes() == 0
+	}
+	f := func(sizes []uint16, accel bool) bool { return run(sizes, accel) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

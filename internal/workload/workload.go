@@ -1,0 +1,83 @@
+// Package workload generates the paper's request workloads: single-file
+// micro traces (§5.1, one file requested repeatedly) and Zipf-distributed
+// document traces (§5.1, Breslau et al.) over a generated file catalog.
+package workload
+
+import (
+	"fmt"
+
+	"ioatsim/internal/ramfs"
+	"ioatsim/internal/rng"
+)
+
+// Trace yields the sequence of document names a client requests.
+type Trace interface {
+	// Next returns the next requested document name.
+	Next() string
+}
+
+// SingleFile is the §5.2.1 micro workload: every request hits one file.
+type SingleFile struct {
+	Path string
+}
+
+// Next implements Trace.
+func (s *SingleFile) Next() string { return s.Path }
+
+// Zipf is the §5.2.2 workload: document i is requested with probability
+// proportional to 1/i^alpha over a fixed catalog.
+type Zipf struct {
+	names []string
+	z     *rng.Zipf
+}
+
+// NewZipf builds a Zipf trace over the catalog with the given exponent.
+// Catalog order defines popularity rank: names[0] is the most popular.
+func NewZipf(r *rng.Rand, names []string, alpha float64) *Zipf {
+	if len(names) == 0 {
+		panic("workload: empty catalog")
+	}
+	return &Zipf{names: names, z: rng.NewZipf(r, len(names), alpha)}
+}
+
+// Next implements Trace.
+func (z *Zipf) Next() string { return z.names[z.z.Next()] }
+
+// Catalog describes a generated file set.
+type Catalog struct {
+	Names []string
+	Sizes map[string]int
+}
+
+// GenerateUniform creates count files of the given fixed size in fs,
+// named <prefix>NNNN.html.
+func GenerateUniform(fs *ramfs.FS, prefix string, count, size int) *Catalog {
+	c := &Catalog{Sizes: make(map[string]int, count)}
+	for i := 0; i < count; i++ {
+		name := fmt.Sprintf("%s%04d.html", prefix, i)
+		fs.Create(name, size)
+		c.Names = append(c.Names, name)
+		c.Sizes[name] = size
+	}
+	return c
+}
+
+// GenerateSpread creates count files whose sizes vary uniformly in
+// [minSize, maxSize], mimicking a static-content document mix.
+func GenerateSpread(fs *ramfs.FS, r *rng.Rand, prefix string, count, minSize, maxSize int) *Catalog {
+	if maxSize < minSize {
+		panic("workload: maxSize below minSize")
+	}
+	c := &Catalog{Sizes: make(map[string]int, count)}
+	for i := 0; i < count; i++ {
+		name := fmt.Sprintf("%s%04d.html", prefix, i)
+		size := minSize
+		if maxSize > minSize {
+			size += r.Intn(maxSize - minSize + 1)
+		}
+		fs.Create(name, size)
+		c.Names = append(c.Names, name)
+		c.Sizes[name] = size
+	}
+	return c
+}

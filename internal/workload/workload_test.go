@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"testing"
+
+	"ioatsim/internal/cost"
+	"ioatsim/internal/mem"
+	"ioatsim/internal/ramfs"
+	"ioatsim/internal/rng"
+)
+
+func newFS() *ramfs.FS {
+	return ramfs.New(mem.NewModel(cost.Default()))
+}
+
+func TestSingleFile(t *testing.T) {
+	tr := &SingleFile{Path: "a.html"}
+	for i := 0; i < 5; i++ {
+		if tr.Next() != "a.html" {
+			t.Fatal("single-file trace wandered")
+		}
+	}
+}
+
+func TestGenerateUniform(t *testing.T) {
+	fs := newFS()
+	c := GenerateUniform(fs, "doc", 50, 4096)
+	if len(c.Names) != 50 || fs.Len() != 50 {
+		t.Fatalf("generated %d names, fs has %d", len(c.Names), fs.Len())
+	}
+	for _, n := range c.Names {
+		if c.Sizes[n] != 4096 {
+			t.Fatalf("size[%s] = %d", n, c.Sizes[n])
+		}
+		if fs.MustOpen(n).Size() != 4096 {
+			t.Fatal("fs size mismatch")
+		}
+	}
+}
+
+func TestGenerateSpread(t *testing.T) {
+	fs := newFS()
+	r := rng.New(7)
+	c := GenerateSpread(fs, r, "doc", 200, 1024, 16384)
+	varied := false
+	for _, n := range c.Names {
+		s := c.Sizes[n]
+		if s < 1024 || s > 16384 {
+			t.Fatalf("size %d out of range", s)
+		}
+		if s != c.Sizes[c.Names[0]] {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("spread produced uniform sizes")
+	}
+}
+
+func TestZipfTraceFavorsPopular(t *testing.T) {
+	fs := newFS()
+	c := GenerateUniform(fs, "doc", 100, 1024)
+	tr := NewZipf(rng.New(1), c.Names, 0.95)
+	counts := map[string]int{}
+	for i := 0; i < 20000; i++ {
+		counts[tr.Next()]++
+	}
+	if counts[c.Names[0]] <= counts[c.Names[50]] {
+		t.Fatalf("rank 0 (%d) not above rank 50 (%d)",
+			counts[c.Names[0]], counts[c.Names[50]])
+	}
+	// Every draw must name a real file.
+	for name := range counts {
+		if _, ok := fs.Open(name); !ok {
+			t.Fatalf("trace produced unknown file %q", name)
+		}
+	}
+}
+
+func TestZipfEmptyCatalogPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty catalog did not panic")
+		}
+	}()
+	NewZipf(rng.New(1), nil, 0.9)
+}

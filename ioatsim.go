@@ -1,0 +1,219 @@
+// Package ioatsim is a deterministic cluster simulator reproducing
+// "Benefits of I/O Acceleration Technology (I/OAT) in Clusters"
+// (Vaidyanathan & Panda, ISPASS 2007) in pure Go.
+//
+// The package re-exports the library's public surface. A minimal
+// session:
+//
+//	cluster, sender, receiver := ioatsim.Testbed1(ioatsim.DefaultParams(), ioatsim.IOAT(), 1)
+//	conn, peer := ioatsim.Pair(sender.Stack, receiver.Stack, 0, 0)
+//	src, dst := sender.Buf(64<<10), receiver.Buf(64<<10)
+//	cluster.S.Spawn("tx", func(p *ioatsim.Proc) { conn.Send(p, src, 16<<20) })
+//	cluster.S.Spawn("rx", func(p *ioatsim.Proc) { peer.Recv(p, dst, 16<<20) })
+//	cluster.S.Run()
+//	fmt.Println(receiver.CPU.Utilization())
+//
+// Layers, bottom up:
+//
+//   - the simulation kernel (Simulator, Proc) — a deterministic
+//     discrete-event loop with goroutine-backed blocking processes;
+//   - machines (Node, Cluster, Testbed1) — cores, an L2 cache model, a
+//     DMA copy engine, multi-port NICs and a TCP-like transport, with
+//     per-feature I/OAT acceleration (Features);
+//   - applications — the paper's two domains (RunDataCenter, RunPVFS)
+//     plus the §5.1 dynamic-content third tier (RunThreeTier) and the
+//     §7 intra-node IPC channel (IPCChannel);
+//   - experiments (Experiments, RunExperiment) — every figure of the
+//     paper's evaluation plus ablations, as runnable benchmarks.
+package ioatsim
+
+import (
+	"ioatsim/internal/bench"
+	"ioatsim/internal/cost"
+	"ioatsim/internal/datacenter"
+	"ioatsim/internal/host"
+	"ioatsim/internal/ioat"
+	"ioatsim/internal/ipc"
+	"ioatsim/internal/mem"
+	"ioatsim/internal/pvfs"
+	"ioatsim/internal/sim"
+	"ioatsim/internal/tcp"
+)
+
+// ---- simulation kernel ----
+
+// Simulator is the deterministic discrete-event loop.
+type Simulator = sim.Simulator
+
+// Proc is a blocking simulation process.
+type Proc = sim.Proc
+
+// Time is virtual time in nanoseconds since the start of the run.
+type Time = sim.Time
+
+// Completion is a one-shot synchronization point (e.g. a DMA transfer).
+type Completion = sim.Completion
+
+// NewSimulator returns an empty simulator. Most users want Testbed1 or
+// NewCluster instead, which own one.
+func NewSimulator() *Simulator { return sim.New() }
+
+// ---- cost model ----
+
+// Params is the calibrated cost model (see internal/cost for every
+// constant's derivation).
+type Params = cost.Params
+
+// DefaultParams returns the Testbed-1 calibration: 4 cores, 2 MB L2,
+// six 1-GbE ports, MTU 1500.
+func DefaultParams() *Params { return cost.Default() }
+
+// Byte-size units.
+const (
+	KB = cost.KB
+	MB = cost.MB
+	GB = cost.GB
+)
+
+// ---- I/OAT features ----
+
+// Features selects which I/OAT capabilities a platform exposes.
+type Features = ioat.Features
+
+// NonIOAT returns the traditional configuration (no acceleration).
+func NonIOAT() Features { return ioat.None() }
+
+// IOAT returns the paper's kernel configuration: split headers + DMA
+// copy engine, multiple receive queues off.
+func IOAT() Features { return ioat.Linux() }
+
+// IOATDMAOnly returns the copy engine without split headers (the
+// "I/OAT-DMA" configuration of the paper's §4.5).
+func IOATDMAOnly() Features { return ioat.DMAOnly() }
+
+// IOATFull returns every feature including multiple receive queues.
+func IOATFull() Features { return ioat.Full() }
+
+// Copier is the user-level asynchronous memcpy service (paper §7/§8),
+// available on every Node.
+type Copier = ioat.Copier
+
+// ---- machines ----
+
+// Node is one simulated machine: cores, cache, engine, NIC, transport.
+type Node = host.Node
+
+// Cluster is a set of nodes sharing one simulator.
+type Cluster = host.Cluster
+
+// Buffer is a user allocation in a node's simulated memory.
+type Buffer = mem.Buffer
+
+// NewCluster returns an empty cluster with a deterministic RNG.
+func NewCluster(p *Params, seed uint64) *Cluster { return host.NewCluster(p, seed) }
+
+// Testbed1 builds the paper's two-node, six-port micro-benchmark
+// testbed with the given feature set on both nodes.
+func Testbed1(p *Params, feat Features, seed uint64) (*Cluster, *Node, *Node) {
+	return host.Testbed1(p, feat, seed)
+}
+
+// ---- transport ----
+
+// Conn is one endpoint of a reliable byte-stream connection.
+type Conn = tcp.Conn
+
+// Listener accepts inbound connections for a named service.
+type Listener = tcp.Listener
+
+// SendOptions modify one Send call (ZeroCopy selects the sendfile path).
+type SendOptions = tcp.SendOptions
+
+// Pair establishes a connection between two nodes' stacks on the given
+// port indexes without handshake costs.
+func Pair(a, b *tcp.Stack, portA, portB int) (*Conn, *Conn) {
+	return tcp.Pair(a, b, portA, portB)
+}
+
+// ---- applications ----
+
+// DataCenterOptions configure the §5 two-tier data-center.
+type DataCenterOptions = datacenter.Options
+
+// DataCenterMetrics report one data-center run.
+type DataCenterMetrics = datacenter.Metrics
+
+// ThreeTierOptions configure the dynamic-content extension.
+type ThreeTierOptions = datacenter.ThreeTierOptions
+
+// RunDataCenter runs clients -> proxy -> web and reports TPS and CPU.
+func RunDataCenter(o DataCenterOptions) DataCenterMetrics {
+	return datacenter.RunTwoTier(o)
+}
+
+// RunEmulatedClients runs the §5.2.3 emulated-clients setup.
+func RunEmulatedClients(o DataCenterOptions, threads int) DataCenterMetrics {
+	return datacenter.RunEmulated(o, threads)
+}
+
+// RunThreeTier runs the dynamic-content extension: proxy -> app -> db.
+func RunThreeTier(o ThreeTierOptions) datacenter.ThreeTierMetrics {
+	return datacenter.RunThreeTier(o)
+}
+
+// PVFSOptions configure the §6 parallel-file-system benchmark.
+type PVFSOptions = pvfs.Options
+
+// PVFSMetrics report one PVFS run.
+type PVFSMetrics = pvfs.Metrics
+
+// PVFSSystem is a deployed manager + I/O daemons.
+type PVFSSystem = pvfs.System
+
+// PVFSClient is a compute node's client library instance.
+type PVFSClient = pvfs.Client
+
+// NewPVFS deploys iods I/O daemons on the server node.
+func NewPVFS(server *Node, iods, stripe int) *PVFSSystem {
+	return pvfs.New(server, iods, stripe)
+}
+
+// NewPVFSClient connects a compute node to a PVFS system.
+func NewPVFSClient(p *Proc, node *Node, sys *PVFSSystem) *PVFSClient {
+	return pvfs.NewClient(p, node, sys)
+}
+
+// RunPVFS runs the pvfs-test concurrent read/write benchmark.
+func RunPVFS(o PVFSOptions) PVFSMetrics { return pvfs.Run(o) }
+
+// IPCChannel is the §7 intra-node shared-memory message channel whose
+// copies can be offloaded to the engine.
+type IPCChannel = ipc.Channel
+
+// NewIPCChannel returns a channel with the given slot size and count.
+func NewIPCChannel(n *Node, slotSize, slots int) *IPCChannel {
+	return ipc.New(n, slotSize, slots)
+}
+
+// ---- experiments ----
+
+// ExperimentConfig scales experiment runs (Scale 1 = paper-sized).
+type ExperimentConfig = bench.Config
+
+// ExperimentResult is one reproduced figure.
+type ExperimentResult = bench.Result
+
+// Experiment is a registered figure reproduction.
+type Experiment = bench.Runner
+
+// Experiments lists every reproducible figure in paper order.
+func Experiments() []Experiment { return bench.Experiments() }
+
+// RunExperiment runs one figure by id ("fig3a" .. "extipc").
+func RunExperiment(id string, cfg ExperimentConfig) (*ExperimentResult, bool) {
+	r, ok := bench.Find(id)
+	if !ok {
+		return nil, false
+	}
+	return r.Run(cfg), true
+}
