@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all build vet test race bench-smoke bench sim-bench clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-audit the whole tree, including the parallel sweep runner.
+race:
+	$(GO) test -race ./...
+
+# A fast end-to-end pass over every experiment: shapes only, tiny scale.
+bench-smoke: build
+	$(GO) run ./cmd/ioatbench -scale 0.05 -parallel 0
+
+# Full benchmark run: sequential vs parallel wall-clock, BENCH_PR1.json.
+bench:
+	./scripts/bench.sh
+
+# Event-core microbenchmarks; allocs/op must be 0 on the steady path.
+sim-bench:
+	$(GO) test -bench='BenchmarkSchedule|BenchmarkRunHotLoop' -benchmem -run='^$$' ./internal/sim/
+
+clean:
+	$(GO) clean ./...
+	rm -f BENCH_PR1.json

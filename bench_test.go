@@ -7,7 +7,10 @@
 //
 // reproduces the whole evaluation. Set IOATSIM_SCALE=1 in the
 // environment for paper-sized runs (slower); the default scale of 0.25
-// preserves every shape.
+// preserves every shape. IOATSIM_PARALLEL bounds how many simulation
+// points run concurrently inside each figure (default 1, so ns/op stays
+// comparable across runs; 0 = one worker per core — wall-clock only,
+// the tables are byte-identical at any setting).
 package ioatsim
 
 import (
@@ -18,7 +21,7 @@ import (
 	"ioatsim/internal/bench"
 )
 
-// benchConfig picks the run scale.
+// benchConfig picks the run scale and per-figure parallelism.
 func benchConfig() bench.Config {
 	scale := 0.25
 	if v := os.Getenv("IOATSIM_SCALE"); v != "" {
@@ -26,7 +29,13 @@ func benchConfig() bench.Config {
 			scale = f
 		}
 	}
-	return bench.Config{Seed: 1, Scale: scale}
+	parallel := 1
+	if v := os.Getenv("IOATSIM_PARALLEL"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			parallel = n
+		}
+	}
+	return bench.Config{Seed: 1, Scale: scale, Parallel: parallel}
 }
 
 // runFigure executes one experiment per iteration and reports the last

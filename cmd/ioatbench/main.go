@@ -2,27 +2,70 @@
 //
 // Usage:
 //
-//	ioatbench              # run every experiment
-//	ioatbench -run fig3a   # run one experiment
-//	ioatbench -list        # list experiment ids
-//	ioatbench -scale 0.25  # shorten runs (shape-preserving)
+//	ioatbench                    # run every experiment
+//	ioatbench -run fig3a,fig6    # run selected experiments
+//	ioatbench -list              # list experiment ids
+//	ioatbench -scale 0.25        # shorten runs (shape-preserving)
+//	ioatbench -parallel 0        # auto: one worker per core (default)
+//	ioatbench -parallel 1        # strictly sequential
+//	ioatbench -json              # machine-readable results on stdout
+//
+// Every simulation point is independent and deterministic, so -parallel
+// changes wall-clock time only: the tables are byte-identical at any
+// setting.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"ioatsim/internal/bench"
+	"ioatsim/internal/sweep"
 )
+
+// jsonResult is the machine-readable form of one experiment.
+type jsonResult struct {
+	ID      string    `json:"id"`
+	Title   string    `json:"title"`
+	XLabel  string    `json:"xlabel"`
+	Columns []string  `json:"columns"`
+	Rows    []jsonRow `json:"rows"`
+	Notes   []string  `json:"notes,omitempty"`
+	Millis  float64   `json:"wall_ms"`
+}
+
+// jsonRow is one table row: the x value, its label, and the column
+// values in column order.
+type jsonRow struct {
+	X      float64   `json:"x"`
+	Label  string    `json:"label,omitempty"`
+	Values []float64 `json:"values"`
+}
+
+// jsonReport is the top-level -json document.
+type jsonReport struct {
+	Scale       float64      `json:"scale"`
+	Seed        uint64       `json:"seed"`
+	Parallel    int          `json:"parallel"`
+	Workers     int          `json:"workers"`
+	Results     []jsonResult `json:"results"`
+	WallSeconds float64      `json:"wall_s"`
+	CPUSeconds  float64      `json:"experiment_s"`
+	Speedup     float64      `json:"speedup"`
+}
 
 func main() {
 	var (
-		run   = flag.String("run", "", "experiment id to run (default: all)")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
-		scale = flag.Float64("scale", 1.0, "scale factor for run lengths and request counts")
-		seed  = flag.Uint64("seed", 1, "simulation seed")
+		run      = flag.String("run", "", "comma-separated experiment ids to run (default: all)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		scale    = flag.Float64("scale", 1.0, "scale factor for run lengths and request counts")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		parallel = flag.Int("parallel", 0, "concurrent simulation points (0 = one per core, 1 = sequential)")
+		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	)
 	flag.Parse()
 
@@ -33,21 +76,93 @@ func main() {
 		return
 	}
 
-	cfg := bench.Config{Seed: *seed, Scale: *scale}
+	cfg := bench.Config{Seed: *seed, Scale: *scale, Parallel: *parallel}
 	runners := bench.Experiments()
 	if *run != "" {
-		r, ok := bench.Find(*run)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "ioatbench: unknown experiment %q (try -list)\n", *run)
+		runners = runners[:0:0]
+		for _, id := range strings.Split(*run, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			r, ok := bench.Find(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "ioatbench: unknown experiment %q (try -list)\n", id)
+				os.Exit(1)
+			}
+			runners = append(runners, r)
+		}
+		if len(runners) == 0 {
+			fmt.Fprintln(os.Stderr, "ioatbench: -run selected no experiments")
 			os.Exit(1)
 		}
-		runners = []bench.Runner{r}
 	}
 
-	for _, r := range runners {
-		start := time.Now()
-		res := r.Run(cfg)
-		fmt.Println(res.String())
-		fmt.Printf("(%s ran in %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	// Whole figures run concurrently on the same pool discipline as the
+	// rows inside each figure; results print in registry order.
+	type timed struct {
+		res     *bench.Result
+		elapsed time.Duration
 	}
+	start := time.Now()
+	results := sweep.Run(*parallel, len(runners), func(i int) timed {
+		t0 := time.Now()
+		res := runners[i].Run(cfg)
+		return timed{res: res, elapsed: time.Since(t0)}
+	})
+	wall := time.Since(start)
+
+	var cum time.Duration
+	for _, r := range results {
+		cum += r.elapsed
+	}
+	speedup := 1.0
+	if wall > 0 {
+		speedup = cum.Seconds() / wall.Seconds()
+	}
+
+	if *jsonOut {
+		report := jsonReport{
+			Scale:       *scale,
+			Seed:        *seed,
+			Parallel:    *parallel,
+			Workers:     sweep.Workers(*parallel),
+			WallSeconds: wall.Seconds(),
+			CPUSeconds:  cum.Seconds(),
+			Speedup:     speedup,
+		}
+		for _, r := range results {
+			s := r.res.Series
+			jr := jsonResult{
+				ID:      r.res.ID,
+				Title:   r.res.Title,
+				XLabel:  s.XLabel,
+				Columns: s.Columns,
+				Notes:   r.res.Notes,
+				Millis:  float64(r.elapsed.Microseconds()) / 1e3,
+			}
+			for _, p := range s.Points {
+				row := jsonRow{X: p.X, Label: p.Label}
+				for _, c := range s.Columns {
+					row.Values = append(row.Values, p.Values[c])
+				}
+				jr.Rows = append(jr.Rows, row)
+			}
+			report.Results = append(report.Results, jr)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintf(os.Stderr, "ioatbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	for i, r := range results {
+		fmt.Println(r.res.String())
+		fmt.Printf("(%s ran in %v)\n\n", runners[i].ID, r.elapsed.Round(time.Millisecond))
+	}
+	fmt.Printf("total: %d experiments, %.1fs of experiment time in %.1fs wall (%.1fx, %d workers)\n",
+		len(results), cum.Seconds(), wall.Seconds(), speedup, sweep.Workers(*parallel))
 }

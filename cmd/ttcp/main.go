@@ -64,8 +64,8 @@ func main() {
 
 	launch := func(from, to *host.Node, port int) {
 		ca, cb := tcp.Pair(from.Stack, to.Stack, port, port)
-		src := from.Buf(minInt(*msgSize, 256*cost.KB))
-		dst := to.Buf(minInt(*msgSize, 256*cost.KB))
+		src := from.Buf(min(*msgSize, 256*cost.KB))
+		dst := to.Buf(min(*msgSize, 256*cost.KB))
 		from.CPU.RegisterThread()
 		to.CPU.RegisterThread()
 		cl.S.Spawn("tx", func(pr *sim.Proc) {
@@ -118,9 +118,3 @@ func main() {
 		a.CPU.Utilization()*100, b.CPU.Utilization()*100, b.CPU.CoreUtilization(0)*100)
 }
 
-func minInt(x, y int) int {
-	if x < y {
-		return x
-	}
-	return y
-}

@@ -19,24 +19,30 @@ import (
 func AblRSS(cfg Config) *Result {
 	series := stats.NewSeries("Ablation: Multiple Receive Queues (MTU 576)", "Ports",
 		"I/OAT Mbps", "I/OAT-FULL Mbps", "I/OAT core0%", "I/OAT-FULL core0%")
-	for _, ports := range []int{1, 2, 3, 4, 5, 6} {
+	type rssRow struct{ linuxMbps, fullMbps, linuxCore0, fullCore0 float64 }
+	rows := points(cfg, 6, func(i int) rssRow {
+		ports := i + 1
 		run := func(feat ioat.Features) (float64, float64) {
 			p := cost.Default()
 			p.MTU = 576
 			core0 := 0.0
 			res := runMicroWith(p, feat, cfg, func(a, b *host.Node) []stream {
 				var ss []stream
-				for i := 0; i < ports; i++ {
-					ss = append(ss, stream{from: a, to: b, portFrom: i, portTo: i, msg: 64 * cost.KB})
+				for port := 0; port < ports; port++ {
+					ss = append(ss, stream{from: a, to: b, portFrom: port, portTo: port, msg: 64 * cost.KB})
 				}
 				return ss
 			}, func(a, b *host.Node) { core0 = b.CPU.CoreUtilization(0) })
 			return res.mbps, core0
 		}
-		linuxMbps, linuxCore0 := run(ioat.Linux())
-		fullMbps, fullCore0 := run(ioat.Full())
-		series.Add(float64(ports), "",
-			linuxMbps, fullMbps, pct(linuxCore0), pct(fullCore0))
+		var r rssRow
+		r.linuxMbps, r.linuxCore0 = run(ioat.Linux())
+		r.fullMbps, r.fullCore0 = run(ioat.Full())
+		return r
+	})
+	for i, r := range rows {
+		series.Add(float64(i+1), "",
+			r.linuxMbps, r.fullMbps, pct(r.linuxCore0), pct(r.fullCore0))
 	}
 	return &Result{ID: "ablrss", Title: "Ablation: multiple receive queues", Series: series,
 		Notes: []string{"single-queue receive processing saturates core 0 and caps throughput; RSS restores scaling"}}
@@ -49,31 +55,36 @@ func AblRSS(cfg Config) *Result {
 func AblPin(cfg Config) *Result {
 	series := stats.NewSeries("Ablation: pinning cost vs DMA benefit (64K copy)", "PinMult",
 		"CPU copy us", "DMA CPU cost us", "DMA wins")
-	for _, mult := range []int{0, 1, 2, 4, 8, 16, 32} {
+	mults := []int{0, 1, 2, 4, 8, 16, 32}
+	type pinRow struct{ cpuCopy, dmaCPU time.Duration }
+	rows := points(cfg, len(mults), func(i int) pinRow {
 		p := cost.Default()
-		p.PinPerPage = time.Duration(mult) * 150 * time.Nanosecond
+		p.PinPerPage = time.Duration(mults[i]) * 150 * time.Nanosecond
 		cl, node, _ := host.Testbed1(p, ioat.Linux(), cfg.Seed)
-		var cpuCopy, dmaCPU time.Duration
+		var r pinRow
 		cl.S.Spawn("ablpin", func(pr *sim.Proc) {
 			size := 64 * cost.KB
 			src := node.Buf(size)
 			dst := node.Buf(size)
-			cpuCopy = node.Copier.CopySync(pr, src.Addr, dst.Addr, size)
+			r.cpuCopy = node.Copier.CopySync(pr, src.Addr, dst.Addr, size)
 			// Fresh buffers every time: pins never amortize.
 			s2 := node.Buf(size)
 			d2 := node.Buf(size)
 			busy0 := node.CPU.BusyTime()
 			done := node.Copier.Start(pr, s2.Addr, d2.Addr, size)
-			dmaCPU = node.CPU.BusyTime() - busy0
+			r.dmaCPU = node.CPU.BusyTime() - busy0
 			done.Wait(pr)
 		})
 		cl.S.Run()
+		return r
+	})
+	for i, r := range rows {
 		wins := 0.0
-		if dmaCPU < cpuCopy {
+		if r.dmaCPU < r.cpuCopy {
 			wins = 1
 		}
-		series.Add(float64(mult), fmt.Sprintf("%dx", mult),
-			us(cpuCopy), us(dmaCPU), wins)
+		series.Add(float64(mults[i]), fmt.Sprintf("%dx", mults[i]),
+			us(r.cpuCopy), us(r.dmaCPU), wins)
 	}
 	return &Result{ID: "ablpin", Title: "Ablation: page-pinning cost vs DMA benefit", Series: series,
 		Notes: []string{"paper §7: once pinning exceeds the copy cost, the engine stops paying off"}}
@@ -85,22 +96,19 @@ func AblPin(cfg Config) *Result {
 func AblCoal(cfg Config) *Result {
 	series := stats.NewSeries("Ablation: interrupt coalescing budget", "Frames/intr",
 		"light-load CPU%", "heavy-load CPU%", "light Mbps", "heavy Mbps")
-	for _, budget := range []int{1, 2, 4, 8, 16, 32} {
+	budgets := []int{1, 2, 4, 8, 16, 32}
+	type coalRow struct{ light, heavy microResult }
+	rows := points(cfg, len(budgets), func(i int) coalRow {
 		run := func(ports int) microResult {
 			p := cost.Default()
-			p.CoalesceFrames = budget
-			return runMicro(p, ioat.None(), cfg, func(a, b *host.Node) []stream {
-				var ss []stream
-				for i := 0; i < ports; i++ {
-					ss = append(ss, stream{from: a, to: b, portFrom: i, portTo: i, msg: 64 * cost.KB})
-				}
-				return ss
-			})
+			p.CoalesceFrames = budgets[i]
+			return runMicro(p, ioat.None(), cfg, portStreams(ports, 64*cost.KB, false))
 		}
-		light := run(1)
-		heavy := run(6)
-		series.Add(float64(budget), "",
-			pct(light.cpuRecv), pct(heavy.cpuRecv), light.mbps, heavy.mbps)
+		return coalRow{light: run(1), heavy: run(6)}
+	})
+	for i, r := range rows {
+		series.Add(float64(budgets[i]), "",
+			pct(r.light.cpuRecv), pct(r.heavy.cpuRecv), r.light.mbps, r.heavy.mbps)
 	}
 	return &Result{ID: "ablcoal", Title: "Ablation: interrupt coalescing", Series: series,
 		Notes: []string{"coalescing saves little at light load and a lot at heavy load (paper §2.1)"}}

@@ -13,15 +13,22 @@ import (
 	"ioatsim/internal/ioat"
 	"ioatsim/internal/sim"
 	"ioatsim/internal/stats"
+	"ioatsim/internal/sweep"
 	"ioatsim/internal/tcp"
 )
 
 // Config scales the experiments. Scale < 1 shortens runs and request
 // counts proportionally (used by `go test` so the full suite stays
 // fast); Scale = 1 reproduces the paper-sized runs.
+//
+// Parallel bounds how many of an experiment's points run concurrently:
+// 1 is strictly sequential, 0 (or negative) means one worker per
+// GOMAXPROCS core. Every point is an independent simulation, so the
+// rendered tables are byte-identical at any setting.
 type Config struct {
-	Seed  uint64
-	Scale float64
+	Seed     uint64
+	Scale    float64
+	Parallel int
 }
 
 // DefaultConfig runs paper-sized experiments.
@@ -127,8 +134,8 @@ type stream struct {
 func (sp stream) launch() {
 	s := sp.from.S
 	ca, cb := tcp.Pair(sp.from.Stack, sp.to.Stack, sp.portFrom, sp.portTo)
-	src := sp.from.Buf(minI(sp.msg, 256*cost.KB))
-	dst := sp.to.Buf(minI(sp.msg, 256*cost.KB))
+	src := sp.from.Buf(min(sp.msg, 256*cost.KB))
+	dst := sp.to.Buf(min(sp.msg, 256*cost.KB))
 	sp.from.CPU.RegisterThread()
 	s.Spawn(fmt.Sprintf("tx-%s-%d", sp.from.Name, sp.portFrom), func(p *sim.Proc) {
 		for {
@@ -199,11 +206,11 @@ func runMicroWith(p *cost.Params, feat ioat.Features, cfg Config,
 	}
 }
 
-func minI(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
+// points runs fn for every point index of a figure, concurrently up to
+// cfg.Parallel workers, and returns the rows in point order. fn must
+// build all of its own state (cluster, cost.Params) per call.
+func points[T any](cfg Config, n int, fn func(i int) T) []T {
+	return sweep.Run(cfg.Parallel, n, fn)
 }
 
 func pct(x float64) float64 { return x * 100 }

@@ -227,13 +227,6 @@ func TestResultString(t *testing.T) {
 	}
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 func TestExt3TierShape(t *testing.T) {
 	r := Ext3Tier(fastCfg)
 	s := r.Series

@@ -20,18 +20,21 @@ import (
 func Ext3Tier(cfg Config) *Result {
 	series := stats.NewSeries("Extension: 3-tier dynamic content", "DB queries/req",
 		"non-I/OAT TPS", "I/OAT TPS", "TPS benefit%", "app CPU%", "db CPU%")
-	for _, queries := range []int{1, 3, 5} {
+	queryCounts := []int{1, 3, 5}
+	type tierRow struct{ plain, accel datacenter.ThreeTierMetrics }
+	rows := points(cfg, len(queryCounts), func(i int) tierRow {
 		run := func(feat ioat.Features) datacenter.ThreeTierMetrics {
 			o := datacenter.ThreeTierOptions{Options: dcOptions(cfg, feat)}
-			o.QueriesPerRequest = queries
+			o.QueriesPerRequest = queryCounts[i]
 			o.ResponseBytes = 8 * cost.KB
 			return datacenter.RunThreeTier(o)
 		}
-		plain := run(ioat.None())
-		accel := run(ioat.Linux())
-		series.Add(float64(queries), "",
-			plain.TPS, accel.TPS, pct(gain(plain.TPS, accel.TPS)),
-			pct(accel.AppCPU), pct(accel.DBCPU))
+		return tierRow{run(ioat.None()), run(ioat.Linux())}
+	})
+	for i, r := range rows {
+		series.Add(float64(queryCounts[i]), "",
+			r.plain.TPS, r.accel.TPS, pct(gain(r.plain.TPS, r.accel.TPS)),
+			pct(r.accel.AppCPU), pct(r.accel.DBCPU))
 	}
 	return &Result{ID: "ext3tier", Title: "Extension: 3-tier dynamic content", Series: series,
 		Notes: []string{"the paper's §5.1 third workload class, not measured there: I/OAT helps the inter-tier hops"}}
@@ -43,7 +46,10 @@ func Ext3Tier(cfg Config) *Result {
 func ExtIPC(cfg Config) *Result {
 	series := stats.NewSeries("Extension: intra-node IPC via the copy engine", "Size",
 		"CPU-copy MB/s", "engine MB/s", "CPU-copy cpu%", "engine cpu%")
-	for _, size := range []int{4 * cost.KB, 16 * cost.KB, 64 * cost.KB} {
+	sizes := []int{4 * cost.KB, 16 * cost.KB, 64 * cost.KB}
+	type ipcRow struct{ cpuMBps, engMBps, cpuUtil, engUtil float64 }
+	rows := points(cfg, len(sizes), func(i int) ipcRow {
+		size := sizes[i]
 		run := func(mode ipc.Mode) (float64, float64) {
 			cl := host.NewCluster(cost.Default(), cfg.Seed)
 			n := cl.Add("n", ioat.Linux(), 1)
@@ -69,10 +75,14 @@ func ExtIPC(cfg Config) *Result {
 			mbps := float64(ch.Bytes-mark) / meas.Seconds() / 1e6
 			return mbps, n.CPU.Utilization()
 		}
-		cpuMBps, cpuUtil := run(ipc.CPUCopy)
-		engMBps, engUtil := run(ipc.EngineCopy)
-		series.Add(float64(size), sizeLabel(size),
-			cpuMBps, engMBps, pct(cpuUtil), pct(engUtil))
+		var r ipcRow
+		r.cpuMBps, r.cpuUtil = run(ipc.CPUCopy)
+		r.engMBps, r.engUtil = run(ipc.EngineCopy)
+		return r
+	})
+	for i, r := range rows {
+		series.Add(float64(sizes[i]), sizeLabel(sizes[i]),
+			r.cpuMBps, r.engMBps, pct(r.cpuUtil), pct(r.engUtil))
 	}
 	return &Result{ID: "extipc", Title: "Extension: intra-node IPC", Series: series,
 		Notes: []string{

@@ -9,6 +9,9 @@ import (
 	"ioatsim/internal/stats"
 )
 
+// pvfsPair is the plain-vs-accelerated PVFS measurement.
+type pvfsPair struct{ plain, accel pvfs.Metrics }
+
 // pvfsOptions builds the shared PVFS options for one run.
 func pvfsOptions(cfg Config, feat ioat.Features) pvfs.Options {
 	return pvfs.Options{
@@ -31,22 +34,23 @@ func pvfsSweep(cfg Config, iods int, write bool, id, title, note string) *Result
 	series := stats.NewSeries(title, "Clients",
 		"non-I/OAT MB/s", "I/OAT MB/s", "tput benefit%",
 		"non-I/OAT "+cpuCol+" CPU%", "I/OAT "+cpuCol+" CPU%", "rel CPU benefit%")
-	for clients := 1; clients <= 6; clients++ {
+	rows := points(cfg, 6, func(i int) pvfsPair {
 		run := func(feat ioat.Features) pvfs.Metrics {
 			o := pvfsOptions(cfg, feat)
 			o.IODs = iods
-			o.Clients = clients
+			o.Clients = i + 1
 			o.Write = write
 			return pvfs.Run(o)
 		}
-		plain := run(ioat.None())
-		accel := run(ioat.Linux())
-		pc, ac := plain.ClientCPU, accel.ClientCPU
+		return pvfsPair{run(ioat.None()), run(ioat.Linux())}
+	})
+	for i, r := range rows {
+		pc, ac := r.plain.ClientCPU, r.accel.ClientCPU
 		if write {
-			pc, ac = plain.ServerCPU, accel.ServerCPU
+			pc, ac = r.plain.ServerCPU, r.accel.ServerCPU
 		}
-		series.Add(float64(clients), "",
-			plain.MBps, accel.MBps, pct(gain(plain.MBps, accel.MBps)),
+		series.Add(float64(i+1), "",
+			r.plain.MBps, r.accel.MBps, pct(gain(r.plain.MBps, r.accel.MBps)),
 			pct(pc), pct(ac), pct(stats.RelativeBenefit(pc, ac)))
 	}
 	return &Result{ID: id, Title: title, Series: series, Notes: []string{note}}
@@ -84,18 +88,20 @@ func Fig11b(cfg Config) *Result {
 func Fig12(cfg Config) *Result {
 	series := stats.NewSeries("Fig 12: Multi-Stream PVFS Read", "Clients",
 		"non-I/OAT MB/s", "I/OAT MB/s", "non-I/OAT client CPU%", "I/OAT client CPU%")
-	for _, clients := range []int{1, 2, 4, 8, 16, 32, 64} {
+	clientCounts := []int{1, 2, 4, 8, 16, 32, 64}
+	rows := points(cfg, len(clientCounts), func(i int) pvfsPair {
 		run := func(feat ioat.Features) pvfs.Metrics {
 			o := pvfsOptions(cfg, feat)
 			o.IODs = 6
-			o.Clients = clients
+			o.Clients = clientCounts[i]
 			o.Region = 2 * cost.MB
 			return pvfs.Run(o)
 		}
-		plain := run(ioat.None())
-		accel := run(ioat.Linux())
-		series.Add(float64(clients), "",
-			plain.MBps, accel.MBps, pct(plain.ClientCPU), pct(accel.ClientCPU))
+		return pvfsPair{run(ioat.None()), run(ioat.Linux())}
+	})
+	for i, r := range rows {
+		series.Add(float64(clientCounts[i]), "",
+			r.plain.MBps, r.accel.MBps, pct(r.plain.ClientCPU), pct(r.accel.ClientCPU))
 	}
 	return &Result{ID: "fig12", Title: "PVFS multi-stream read", Series: series,
 		Notes: []string{"paper: I/OAT >= non-I/OAT throughput; client CPU ~10-12% higher with I/OAT (faster request rate)"}}

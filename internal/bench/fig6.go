@@ -10,9 +10,49 @@ import (
 	"ioatsim/internal/stats"
 )
 
-// fig6Feat is the platform configuration for the copy study; the features
-// only matter in that the node must have a copy engine.
-var fig6Feat = ioat.Linux()
+// fig6Row is one measured copy size.
+type fig6Row struct {
+	size                               int
+	cached, uncached, dmaTotal, dmaCPU time.Duration
+}
+
+// fig6Point measures one copy size on a fresh Testbed-1 node, so every
+// size is an independent simulation (and the sizes can run concurrently).
+// The platform features only matter in that the node must have a copy
+// engine.
+func fig6Point(cfg Config, size int) fig6Row {
+	cl, node, _ := host.Testbed1(cost.Default(), ioat.Linux(), cfg.Seed)
+	row := fig6Row{size: size}
+	cl.S.Spawn("fig6", func(p *sim.Proc) {
+		// copy-cache: warm both buffers first.
+		src := node.Buf(size)
+		dst := node.Buf(size)
+		node.CPU.Exec(p, node.Mem.TouchCost(src.Addr, size))
+		node.CPU.Exec(p, node.Mem.TouchCost(dst.Addr, size))
+		row.cached = node.Copier.CopySync(p, src.Addr, dst.Addr, size)
+
+		// copy-nocache: fresh, never-touched buffers.
+		csrc := node.Buf(size)
+		cdst := node.Buf(size)
+		row.uncached = node.Copier.CopySync(p, csrc.Addr, cdst.Addr, size)
+
+		// DMA copy: CPU-visible setup, engine transfer. A warm-up
+		// round registers (pins) the buffers, as a steady-state
+		// application would; the measured round pays descriptor
+		// setup only.
+		dsrc := node.Buf(size)
+		ddst := node.Buf(size)
+		node.Copier.Start(p, dsrc.Addr, ddst.Addr, size).Wait(p)
+		start := p.Now()
+		busy0 := node.CPU.BusyTime()
+		done := node.Copier.Start(p, dsrc.Addr, ddst.Addr, size)
+		row.dmaCPU = node.CPU.BusyTime() - busy0
+		done.Wait(p)
+		row.dmaTotal = p.Now().Sub(start)
+	})
+	cl.S.Run()
+	return row
+}
 
 // Fig6 reproduces Figure 6: the cost of moving 1K..64K bytes with a CPU
 // copy (source/destination cached vs. uncached) against the DMA engine
@@ -22,44 +62,13 @@ func Fig6(cfg Config) *Result {
 	series := stats.NewSeries("Fig 6: CPU copy vs DMA copy", "Size",
 		"copy-cache us", "copy-nocache us", "DMA-copy us", "DMA-overhead us", "overlap%")
 
-	cl, node, _ := host.Testbed1(cost.Default(), fig6Feat, cfg.Seed)
-	type row struct {
-		size                               int
-		cached, uncached, dmaTotal, dmaCPU time.Duration
+	var sizes []int
+	for size := 1 * cost.KB; size <= 64*cost.KB; size *= 2 {
+		sizes = append(sizes, size)
 	}
-	var rows []row
-	cl.S.Spawn("fig6", func(p *sim.Proc) {
-		for size := 1 * cost.KB; size <= 64*cost.KB; size *= 2 {
-			// copy-cache: warm both buffers first.
-			src := node.Buf(size)
-			dst := node.Buf(size)
-			node.CPU.Exec(p, node.Mem.TouchCost(src.Addr, size))
-			node.CPU.Exec(p, node.Mem.TouchCost(dst.Addr, size))
-			cached := node.Copier.CopySync(p, src.Addr, dst.Addr, size)
-
-			// copy-nocache: fresh, never-touched buffers.
-			csrc := node.Buf(size)
-			cdst := node.Buf(size)
-			uncached := node.Copier.CopySync(p, csrc.Addr, cdst.Addr, size)
-
-			// DMA copy: CPU-visible setup, engine transfer. A warm-up
-			// round registers (pins) the buffers, as a steady-state
-			// application would; the measured round pays descriptor
-			// setup only.
-			dsrc := node.Buf(size)
-			ddst := node.Buf(size)
-			node.Copier.Start(p, dsrc.Addr, ddst.Addr, size).Wait(p)
-			start := p.Now()
-			busy0 := node.CPU.BusyTime()
-			done := node.Copier.Start(p, dsrc.Addr, ddst.Addr, size)
-			dmaCPU := node.CPU.BusyTime() - busy0
-			done.Wait(p)
-			dmaTotal := p.Now().Sub(start)
-
-			rows = append(rows, row{size, cached, uncached, dmaTotal, dmaCPU})
-		}
+	rows := points(cfg, len(sizes), func(i int) fig6Row {
+		return fig6Point(cfg, sizes[i])
 	})
-	cl.S.Run()
 
 	for _, r := range rows {
 		overlap := 0.0

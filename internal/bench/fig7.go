@@ -7,6 +7,11 @@ import (
 	"ioatsim/internal/stats"
 )
 
+// fig7Row is one message size measured under the three configurations.
+type fig7Row struct {
+	plain, dmaOnly, split microResult
+}
+
 // fig7Run measures one message size under the three §4.5 configurations:
 // non-I/OAT, I/OAT-DMA (copy engine only) and I/OAT-SPLIT (copy engine +
 // split headers). Four streams over four ports (two dual-port adapters),
@@ -32,12 +37,17 @@ func Fig7a(cfg Config) *Result {
 	series := stats.NewSeries("Fig 7a: I/OAT split-up (CPU)", "Size",
 		"non-I/OAT Mbps", "I/OAT-DMA Mbps", "I/OAT-SPLIT Mbps",
 		"DMA CPU benefit%", "Split CPU benefit%")
-	for _, msg := range []int{16 * cost.KB, 32 * cost.KB, 64 * cost.KB, 128 * cost.KB} {
-		plain, dmaOnly, split := fig7Run(cfg, cost.Default(), msg)
+	msgs := []int{16 * cost.KB, 32 * cost.KB, 64 * cost.KB, 128 * cost.KB}
+	rows := points(cfg, len(msgs), func(i int) fig7Row {
+		plain, dmaOnly, split := fig7Run(cfg, cost.Default(), msgs[i])
+		return fig7Row{plain, dmaOnly, split}
+	})
+	for i, r := range rows {
+		msg := msgs[i]
 		series.Add(float64(msg), sizeLabel(msg),
-			plain.mbps, dmaOnly.mbps, split.mbps,
-			pct(stats.RelativeBenefit(plain.cpuRecv, dmaOnly.cpuRecv)),
-			pct(stats.RelativeBenefit(dmaOnly.cpuRecv, split.cpuRecv)))
+			r.plain.mbps, r.dmaOnly.mbps, r.split.mbps,
+			pct(stats.RelativeBenefit(r.plain.cpuRecv, r.dmaOnly.cpuRecv)),
+			pct(stats.RelativeBenefit(r.dmaOnly.cpuRecv, r.split.cpuRecv)))
 	}
 	return &Result{ID: "fig7a", Title: "I/OAT split-up: CPU benefit", Series: series,
 		Notes: []string{"paper: DMA engine ~16% relative CPU benefit, split-header ~0 at these sizes"}}
@@ -51,14 +61,19 @@ func Fig7b(cfg Config) *Result {
 	series := stats.NewSeries("Fig 7b: I/OAT split-up (throughput)", "Size",
 		"non-I/OAT Mbps", "I/OAT-DMA Mbps", "I/OAT-SPLIT Mbps",
 		"DMA tput benefit%", "Split tput benefit%")
-	for _, msg := range []int{cost.MB, 2 * cost.MB, 4 * cost.MB, 8 * cost.MB} {
+	msgs := []int{cost.MB, 2 * cost.MB, 4 * cost.MB, 8 * cost.MB}
+	rows := points(cfg, len(msgs), func(i int) fig7Row {
 		p := cost.Default()
 		p.SockBuf = cost.MB // large-message runs need deep socket buffers
-		plain, dmaOnly, split := fig7Run(cfg, p, msg)
+		plain, dmaOnly, split := fig7Run(cfg, p, msgs[i])
+		return fig7Row{plain, dmaOnly, split}
+	})
+	for i, r := range rows {
+		msg := msgs[i]
 		series.Add(float64(msg), sizeLabel(msg),
-			plain.mbps, dmaOnly.mbps, split.mbps,
-			pct(gain(plain.mbps, dmaOnly.mbps)),
-			pct(gain(dmaOnly.mbps, split.mbps)))
+			r.plain.mbps, r.dmaOnly.mbps, r.split.mbps,
+			pct(gain(r.plain.mbps, r.dmaOnly.mbps)),
+			pct(gain(r.dmaOnly.mbps, r.split.mbps)))
 	}
 	return &Result{ID: "fig7b", Title: "I/OAT split-up: throughput", Series: series,
 		Notes: []string{"paper: split-header up to ~26% throughput benefit at 1M, shrinking with size"}}

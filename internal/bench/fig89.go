@@ -10,6 +10,9 @@ import (
 	"ioatsim/internal/stats"
 )
 
+// dcPair is the plain-vs-accelerated data-center measurement.
+type dcPair struct{ plain, accel datacenter.Metrics }
+
 // dcOptions builds the shared data-center options for one run. The
 // warm-up has a fixed floor: dozens of client connections need tens of
 // simulated milliseconds to reach steady state regardless of how short
@@ -35,18 +38,20 @@ func dcOptions(cfg Config, feat ioat.Features) datacenter.Options {
 func Fig8a(cfg Config) *Result {
 	series := stats.NewSeries("Fig 8a: Single-File Traces", "Trace",
 		"non-I/OAT TPS", "I/OAT TPS", "TPS benefit%", "proxyCPU-non%", "proxyCPU-ioat%")
-	for i, size := range []int{2 * cost.KB, 4 * cost.KB, 6 * cost.KB, 8 * cost.KB, 10 * cost.KB} {
+	sizes := []int{2 * cost.KB, 4 * cost.KB, 6 * cost.KB, 8 * cost.KB, 10 * cost.KB}
+	rows := points(cfg, len(sizes), func(i int) dcPair {
 		run := func(feat ioat.Features) datacenter.Metrics {
 			o := dcOptions(cfg, feat)
 			o.FileCount = 1
-			o.FileSize = size
+			o.FileSize = sizes[i]
 			return datacenter.RunTwoTier(o)
 		}
-		plain := run(ioat.None())
-		accel := run(ioat.Linux())
-		series.Add(float64(i+1), fmt.Sprintf("Trace %d (%s)", i+1, sizeLabel(size)),
-			plain.TPS, accel.TPS, pct(gain(plain.TPS, accel.TPS)),
-			pct(plain.ProxyCPU), pct(accel.ProxyCPU))
+		return dcPair{run(ioat.None()), run(ioat.Linux())}
+	})
+	for i, r := range rows {
+		series.Add(float64(i+1), fmt.Sprintf("Trace %d (%s)", i+1, sizeLabel(sizes[i])),
+			r.plain.TPS, r.accel.TPS, pct(gain(r.plain.TPS, r.accel.TPS)),
+			pct(r.plain.ProxyCPU), pct(r.accel.ProxyCPU))
 	}
 	return &Result{ID: "fig8a", Title: "Data-center TPS: single-file traces", Series: series,
 		Notes: []string{"paper: I/OAT wins all traces, peak ~14% at 4K (9754 vs 8569 TPS)"}}
@@ -57,19 +62,21 @@ func Fig8a(cfg Config) *Result {
 func Fig8b(cfg Config) *Result {
 	series := stats.NewSeries("Fig 8b: Zipf Traces", "Alpha",
 		"non-I/OAT TPS", "I/OAT TPS", "TPS benefit%")
-	for _, alpha := range []float64{0.95, 0.9, 0.75, 0.5} {
+	alphas := []float64{0.95, 0.9, 0.75, 0.5}
+	rows := points(cfg, len(alphas), func(i int) dcPair {
 		run := func(feat ioat.Features) datacenter.Metrics {
 			o := dcOptions(cfg, feat)
 			o.FileCount = 1000
 			o.SpreadMin = 2 * cost.KB
 			o.SpreadMax = 10 * cost.KB
-			o.Alpha = alpha
+			o.Alpha = alphas[i]
 			return datacenter.RunTwoTier(o)
 		}
-		plain := run(ioat.None())
-		accel := run(ioat.Linux())
-		series.Add(alpha, fmt.Sprintf("a=%.2f", alpha),
-			plain.TPS, accel.TPS, pct(gain(plain.TPS, accel.TPS)))
+		return dcPair{run(ioat.None()), run(ioat.Linux())}
+	})
+	for i, r := range rows {
+		series.Add(alphas[i], fmt.Sprintf("a=%.2f", alphas[i]),
+			r.plain.TPS, r.accel.TPS, pct(gain(r.plain.TPS, r.accel.TPS)))
 	}
 	return &Result{ID: "fig8b", Title: "Data-center TPS: Zipf traces", Series: series,
 		Notes: []string{"paper: I/OAT up to ~11% TPS benefit across alphas"}}
@@ -81,18 +88,20 @@ func Fig8b(cfg Config) *Result {
 func Fig9(cfg Config) *Result {
 	series := stats.NewSeries("Fig 9: Emulated Clients (16K file)", "Threads",
 		"non-I/OAT TPS", "I/OAT TPS", "non-I/OAT CPU%", "I/OAT CPU%", "TPS benefit%")
-	for _, threads := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256} {
+	threadCounts := []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+	rows := points(cfg, len(threadCounts), func(i int) dcPair {
 		run := func(feat ioat.Features) datacenter.Metrics {
 			o := dcOptions(cfg, feat)
 			o.FileCount = 1
 			o.FileSize = 16 * cost.KB
-			return datacenter.RunEmulated(o, threads)
+			return datacenter.RunEmulated(o, threadCounts[i])
 		}
-		plain := run(ioat.None())
-		accel := run(ioat.Linux())
-		series.Add(float64(threads), "",
-			plain.TPS, accel.TPS, pct(plain.ClientCPU), pct(accel.ClientCPU),
-			pct(gain(plain.TPS, accel.TPS)))
+		return dcPair{run(ioat.None()), run(ioat.Linux())}
+	})
+	for i, r := range rows {
+		series.Add(float64(threadCounts[i]), "",
+			r.plain.TPS, r.accel.TPS, pct(r.plain.ClientCPU), pct(r.accel.ClientCPU),
+			pct(gain(r.plain.TPS, r.accel.TPS)))
 	}
 	return &Result{ID: "fig9", Title: "Data-center TPS vs emulated clients", Series: series,
 		Notes: []string{

@@ -9,25 +9,48 @@ import (
 	"ioatsim/internal/stats"
 )
 
+// pair is the plain-vs-accelerated measurement most figures sweep.
+type pair struct{ plain, accel microResult }
+
+// measurePair runs the same stream layout without and with I/OAT.
+// p builds a fresh parameter set per call so concurrent points never
+// share a mutable Params.
+func measurePair(p func() *cost.Params, cfg Config,
+	build func(a, b *host.Node) []stream) pair {
+	return pair{
+		plain: runMicro(p(), ioat.None(), cfg, build),
+		accel: runMicro(p(), ioat.Linux(), cfg, build),
+	}
+}
+
+// portStreams builds one 64 KB ttcp stream per port, optionally mirrored
+// in the reverse direction.
+func portStreams(ports, msg int, bidir bool) func(a, b *host.Node) []stream {
+	return func(a, b *host.Node) []stream {
+		var ss []stream
+		for i := 0; i < ports; i++ {
+			ss = append(ss, stream{from: a, to: b, portFrom: i, portTo: i, msg: msg})
+			if bidir {
+				ss = append(ss, stream{from: b, to: a, portFrom: i, portTo: i, msg: msg})
+			}
+		}
+		return ss
+	}
+}
+
 // Fig3a reproduces Figure 3a: unidirectional bandwidth and receiver CPU
 // utilization as the number of 1-GbE ports grows from one to six, with
 // one ttcp stream per port (64 KB messages).
 func Fig3a(cfg Config) *Result {
 	series := stats.NewSeries("Fig 3a: Bandwidth", "Ports",
 		"non-I/OAT Mbps", "I/OAT Mbps", "non-I/OAT CPU%", "I/OAT CPU%", "rel CPU benefit%")
-	for ports := 1; ports <= 6; ports++ {
-		build := func(a, b *host.Node) []stream {
-			var ss []stream
-			for i := 0; i < ports; i++ {
-				ss = append(ss, stream{from: a, to: b, portFrom: i, portTo: i, msg: 64 * cost.KB})
-			}
-			return ss
-		}
-		plain := runMicro(cost.Default(), ioat.None(), cfg, build)
-		accel := runMicro(cost.Default(), ioat.Linux(), cfg, build)
-		series.Add(float64(ports), "",
-			plain.mbps, accel.mbps, pct(plain.cpuRecv), pct(accel.cpuRecv),
-			pct(stats.RelativeBenefit(plain.cpuRecv, accel.cpuRecv)))
+	rows := points(cfg, 6, func(i int) pair {
+		return measurePair(cost.Default, cfg, portStreams(i+1, 64*cost.KB, false))
+	})
+	for i, r := range rows {
+		series.Add(float64(i+1), "",
+			r.plain.mbps, r.accel.mbps, pct(r.plain.cpuRecv), pct(r.accel.cpuRecv),
+			pct(stats.RelativeBenefit(r.plain.cpuRecv, r.accel.cpuRecv)))
 	}
 	return &Result{ID: "fig3a", Title: "Bandwidth vs. ports", Series: series,
 		Notes: []string{"paper: ~5635 Mbps at 6 ports; CPU 37% vs 29% (~21% relative)"}}
@@ -38,21 +61,13 @@ func Fig3a(cfg Config) *Result {
 func Fig3b(cfg Config) *Result {
 	series := stats.NewSeries("Fig 3b: Bi-directional Bandwidth", "Ports",
 		"non-I/OAT Mbps", "I/OAT Mbps", "non-I/OAT CPU%", "I/OAT CPU%", "rel CPU benefit%")
-	for ports := 1; ports <= 6; ports++ {
-		build := func(a, b *host.Node) []stream {
-			var ss []stream
-			for i := 0; i < ports; i++ {
-				ss = append(ss,
-					stream{from: a, to: b, portFrom: i, portTo: i, msg: 64 * cost.KB},
-					stream{from: b, to: a, portFrom: i, portTo: i, msg: 64 * cost.KB})
-			}
-			return ss
-		}
-		plain := runMicro(cost.Default(), ioat.None(), cfg, build)
-		accel := runMicro(cost.Default(), ioat.Linux(), cfg, build)
-		series.Add(float64(ports), "",
-			plain.mbps, accel.mbps, pct(plain.cpuRecv), pct(accel.cpuRecv),
-			pct(stats.RelativeBenefit(plain.cpuRecv, accel.cpuRecv)))
+	rows := points(cfg, 6, func(i int) pair {
+		return measurePair(cost.Default, cfg, portStreams(i+1, 64*cost.KB, true))
+	})
+	for i, r := range rows {
+		series.Add(float64(i+1), "",
+			r.plain.mbps, r.accel.mbps, pct(r.plain.cpuRecv), pct(r.accel.cpuRecv),
+			pct(stats.RelativeBenefit(r.plain.cpuRecv, r.accel.cpuRecv)))
 	}
 	return &Result{ID: "fig3b", Title: "Bi-directional bandwidth vs. ports", Series: series,
 		Notes: []string{"paper: ~9600 Mbps at 6 ports; CPU ~90% vs ~70% (~22% relative)"}}
@@ -64,19 +79,21 @@ func Fig3b(cfg Config) *Result {
 func Fig4(cfg Config) *Result {
 	series := stats.NewSeries("Fig 4: Multi-Stream Bandwidth", "Threads",
 		"non-I/OAT Mbps", "I/OAT Mbps", "non-I/OAT CPU%", "I/OAT CPU%", "rel CPU benefit%")
-	for _, threads := range []int{1, 2, 4, 6, 8, 10, 12} {
-		build := func(a, b *host.Node) []stream {
+	threadCounts := []int{1, 2, 4, 6, 8, 10, 12}
+	rows := points(cfg, len(threadCounts), func(i int) pair {
+		threads := threadCounts[i]
+		return measurePair(cost.Default, cfg, func(a, b *host.Node) []stream {
 			var ss []stream
-			for i := 0; i < threads; i++ {
-				ss = append(ss, stream{from: a, to: b, portFrom: i % 6, portTo: i % 6, msg: 16 * cost.KB})
+			for t := 0; t < threads; t++ {
+				ss = append(ss, stream{from: a, to: b, portFrom: t % 6, portTo: t % 6, msg: 16 * cost.KB})
 			}
 			return ss
-		}
-		plain := runMicro(cost.Default(), ioat.None(), cfg, build)
-		accel := runMicro(cost.Default(), ioat.Linux(), cfg, build)
-		series.Add(float64(threads), "",
-			plain.mbps, accel.mbps, pct(plain.cpuRecv), pct(accel.cpuRecv),
-			pct(stats.RelativeBenefit(plain.cpuRecv, accel.cpuRecv)))
+		})
+	})
+	for i, r := range rows {
+		series.Add(float64(threadCounts[i]), "",
+			r.plain.mbps, r.accel.mbps, pct(r.plain.cpuRecv), pct(r.accel.cpuRecv),
+			pct(stats.RelativeBenefit(r.plain.cpuRecv, r.accel.cpuRecv)))
 	}
 	return &Result{ID: "fig4", Title: "Multi-stream bandwidth vs. threads", Series: series,
 		Notes: []string{"paper: at 12 threads CPU 76% vs 52% (~32% relative); non-I/OAT throughput degrades"}}
@@ -128,22 +145,14 @@ func Fig5b(cfg Config) *Result {
 func fig5(cfg Config, bidir bool, id, title, note string) *Result {
 	series := stats.NewSeries(title, "Case",
 		"non-I/OAT Mbps", "I/OAT Mbps", "non-I/OAT CPU%", "I/OAT CPU%", "rel CPU benefit%")
-	for i, sc := range socketCases() {
-		build := func(a, b *host.Node) []stream {
-			var ss []stream
-			for port := 0; port < 6; port++ {
-				ss = append(ss, stream{from: a, to: b, portFrom: port, portTo: port, msg: 64 * cost.KB})
-				if bidir {
-					ss = append(ss, stream{from: b, to: a, portFrom: port, portTo: port, msg: 64 * cost.KB})
-				}
-			}
-			return ss
-		}
-		plain := runMicro(sc.p(), ioat.None(), cfg, build)
-		accel := runMicro(sc.p(), ioat.Linux(), cfg, build)
+	cases := socketCases()
+	rows := points(cfg, len(cases), func(i int) pair {
+		return measurePair(cases[i].p, cfg, portStreams(6, 64*cost.KB, bidir))
+	})
+	for i, r := range rows {
 		series.Add(float64(i+1), fmt.Sprintf("Case %d", i+1),
-			plain.mbps, accel.mbps, pct(plain.cpuRecv), pct(accel.cpuRecv),
-			pct(stats.RelativeBenefit(plain.cpuRecv, accel.cpuRecv)))
+			r.plain.mbps, r.accel.mbps, pct(r.plain.cpuRecv), pct(r.accel.cpuRecv),
+			pct(stats.RelativeBenefit(r.plain.cpuRecv, r.accel.cpuRecv)))
 	}
 	return &Result{ID: id, Title: title, Series: series, Notes: []string{note}}
 }

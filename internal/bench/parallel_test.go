@@ -1,0 +1,27 @@
+package bench
+
+import "testing"
+
+// TestParallelDeterminism is the regression test for the sweep runner:
+// one micro-benchmark figure, one data-center figure and one PVFS figure
+// must render byte-identical tables when their points run strictly
+// sequentially and when they run on eight concurrent workers. Any shared
+// mutable state between points — a package-level scratch Params, a
+// shared RNG, a reused cluster — shows up here as a diff.
+func TestParallelDeterminism(t *testing.T) {
+	for _, id := range []string{"fig4", "fig8a", "fig10a"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			r, ok := Find(id)
+			if !ok {
+				t.Fatalf("unknown experiment %q", id)
+			}
+			seq := r.Run(Config{Seed: 1, Scale: 0.08, Parallel: 1})
+			par := r.Run(Config{Seed: 1, Scale: 0.08, Parallel: 8})
+			if got, want := par.Series.Table(), seq.Series.Table(); got != want {
+				t.Errorf("parallel table differs from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s", want, got)
+			}
+		})
+	}
+}

@@ -98,7 +98,9 @@ func (c *Cache) Contains(addr Addr) bool {
 }
 
 // AccessRange touches every line of [addr, addr+n) and returns the hit
-// and miss counts.
+// and miss counts. It is the bulk path under every modeled copy and
+// checksum, so the set scan is inlined per line rather than routed
+// through Access: one pass, set-local slices, no per-line call.
 func (c *Cache) AccessRange(addr Addr, n int) (hits, misses int) {
 	if n <= 0 {
 		return 0, 0
@@ -106,9 +108,29 @@ func (c *Cache) AccessRange(addr Addr, n int) (hits, misses int) {
 	first := uint64(addr) >> c.shift
 	last := (uint64(addr) + uint64(n) - 1) >> c.shift
 	for l := first; l <= last; l++ {
-		if c.Access(Addr(l << c.shift)) {
+		ways := c.lines[int(l&c.mask)*c.ways:][:c.ways]
+		c.tick++
+		tag := l + 1
+		hit := false
+		victim := 0
+		oldest := ^uint64(0)
+		for i := range ways {
+			if ways[i].tag == tag {
+				ways[i].last = c.tick
+				hit = true
+				break
+			}
+			if ways[i].last < oldest {
+				oldest = ways[i].last
+				victim = i
+			}
+		}
+		if hit {
+			c.Hits++
 			hits++
 		} else {
+			ways[victim] = cacheLine{tag: tag, last: c.tick}
+			c.Misses++
 			misses++
 		}
 	}
@@ -127,30 +149,28 @@ func (c *Cache) Install(addr Addr, n int) (evicted int) {
 	first := uint64(addr) >> c.shift
 	last := (uint64(addr) + uint64(n) - 1) >> c.shift
 	for l := first; l <= last; l++ {
-		line := l
-		set := int(line & c.mask)
-		base := set * c.ways
+		ways := c.lines[int(l&c.mask)*c.ways:][:c.ways]
 		c.tick++
-		tag := line + 1
-		victim := base
+		tag := l + 1
+		victim := 0
 		oldest := ^uint64(0)
 		found := false
-		for i := base; i < base+c.ways; i++ {
-			if c.lines[i].tag == tag {
-				c.lines[i].last = c.tick
+		for i := range ways {
+			if ways[i].tag == tag {
+				ways[i].last = c.tick
 				found = true
 				break
 			}
-			if c.lines[i].last < oldest {
-				oldest = c.lines[i].last
+			if ways[i].last < oldest {
+				oldest = ways[i].last
 				victim = i
 			}
 		}
 		if !found {
-			if c.lines[victim].tag != 0 {
+			if ways[victim].tag != 0 {
 				evicted++
 			}
-			c.lines[victim] = cacheLine{tag: tag, last: c.tick}
+			ways[victim] = cacheLine{tag: tag, last: c.tick}
 		}
 	}
 	return evicted
@@ -165,12 +185,11 @@ func (c *Cache) Invalidate(addr Addr, n int) {
 	first := uint64(addr) >> c.shift
 	last := (uint64(addr) + uint64(n) - 1) >> c.shift
 	for l := first; l <= last; l++ {
-		set := int(l & c.mask)
-		base := set * c.ways
+		ways := c.lines[int(l&c.mask)*c.ways:][:c.ways]
 		tag := l + 1
-		for i := base; i < base+c.ways; i++ {
-			if c.lines[i].tag == tag {
-				c.lines[i] = cacheLine{}
+		for i := range ways {
+			if ways[i].tag == tag {
+				ways[i] = cacheLine{}
 				break
 			}
 		}

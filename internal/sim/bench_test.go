@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkSchedule measures one schedule+dispatch round trip through the
+// heap. Steady state must be allocation-free: the arena slot freed by
+// Step is reused by the next Schedule, and the closure is hoisted out of
+// the loop, as hot simulation code does.
+func BenchmarkSchedule(b *testing.B) {
+	s := New()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(time.Nanosecond, fn)
+		s.Step()
+	}
+}
+
+// BenchmarkScheduleDepth64 is BenchmarkSchedule with 64 events always
+// pending, exercising real sift-up/sift-down paths instead of the trivial
+// single-element heap.
+func BenchmarkScheduleDepth64(b *testing.B) {
+	s := New()
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		s.Schedule(time.Duration(i+1)*time.Microsecond, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(time.Millisecond, fn)
+		s.Step()
+	}
+}
+
+// BenchmarkRunHotLoop measures the event loop proper: a self-rescheduling
+// event chain dispatched by RunUntil, the pattern every NIC, link and CPU
+// model follows. One closure serves the whole run, so allocs/op must be 0.
+func BenchmarkRunHotLoop(b *testing.B) {
+	s := New()
+	n := 0
+	var fn func()
+	fn = func() {
+		n++
+		if n < b.N {
+			s.Schedule(time.Microsecond, fn)
+		}
+	}
+	s.Schedule(time.Microsecond, fn)
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.Run()
+	if n != b.N {
+		b.Fatalf("dispatched %d events, want %d", n, b.N)
+	}
+}

@@ -5,16 +5,26 @@
 // callback events (Schedule/At) or as blocking processes (Spawn) that run
 // in their own goroutines but are scheduled strictly one at a time by the
 // event loop, so every run is deterministic.
+//
+// The pending set is the engine's hottest structure: every simulated
+// frame, interrupt, copy and wake-up passes through it once. It is an
+// index-based 4-ary min-heap over a value arena with a free-list, so the
+// steady state allocates nothing per event: arena slots and heap capacity
+// are recycled, and sift operations move 4-byte indices instead of
+// interface values. (The previous container/heap implementation paid one
+// *event allocation plus an interface conversion per Schedule.)
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
 
 // Time is a virtual timestamp in nanoseconds since the start of the run.
 type Time int64
+
+// maxTime is the largest representable timestamp, used as "no deadline".
+const maxTime = Time(1<<63 - 1)
 
 // Duration re-exports time.Duration for convenience in simulation code.
 type Duration = time.Duration
@@ -31,41 +41,26 @@ func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 // Seconds returns the timestamp as fractional seconds.
 func (t Time) Seconds() float64 { return float64(t) / 1e9 }
 
-// event is a single scheduled callback.
+// event is a single scheduled callback, stored by value in the arena.
 type event struct {
 	at  Time
 	seq uint64
 	fn  func()
 }
 
-// eventHeap is a min-heap ordered by (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
-
 // Simulator owns the virtual clock and the pending event set.
 // The zero value is not usable; call New.
 type Simulator struct {
 	now     Time
-	heap    eventHeap
 	seq     uint64
 	stopped bool
+
+	// Pending-event storage. events is the arena; free lists arena slots
+	// ready for reuse; heap is a 4-ary min-heap of arena indices ordered
+	// by the events' (at, seq).
+	events []event
+	free   []int32
+	heap   []int32
 
 	// Process scheduling handshake. While a process goroutine runs, the
 	// event loop blocks on parked, so exactly one goroutine ever touches
@@ -107,8 +102,85 @@ func (s *Simulator) At(t Time, fn func()) {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, s.now))
 	}
+	var idx int32
+	if n := len(s.free); n > 0 {
+		idx = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		s.events = append(s.events, event{})
+		idx = int32(len(s.events) - 1)
+	}
 	s.seq++
-	heap.Push(&s.heap, &event{at: t, seq: s.seq, fn: fn})
+	s.events[idx] = event{at: t, seq: s.seq, fn: fn}
+	s.heap = append(s.heap, idx)
+	s.siftUp(len(s.heap) - 1)
+}
+
+// less orders arena slots by (at, seq).
+func (s *Simulator) less(a, b int32) bool {
+	ea, eb := &s.events[a], &s.events[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+// siftUp restores heap order after appending at position i.
+func (s *Simulator) siftUp(i int) {
+	h := s.heap
+	v := h[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !s.less(v, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = v
+}
+
+// siftDown restores heap order after replacing the root.
+func (s *Simulator) siftDown() {
+	h := s.heap
+	n := len(h)
+	v := h[0]
+	i := 0
+	for {
+		c := i*4 + 1
+		if c >= n {
+			break
+		}
+		best := c
+		for k := c + 1; k < min(c+4, n); k++ {
+			if s.less(h[k], h[best]) {
+				best = k
+			}
+		}
+		if !s.less(h[best], v) {
+			break
+		}
+		h[i] = h[best]
+		i = best
+	}
+	h[i] = v
+}
+
+// pop removes the earliest event, releases its arena slot, and returns
+// its timestamp and callback. The heap must be non-empty.
+func (s *Simulator) pop() (Time, func()) {
+	idx := s.heap[0]
+	n := len(s.heap) - 1
+	s.heap[0] = s.heap[n]
+	s.heap = s.heap[:n]
+	if n > 0 {
+		s.siftDown()
+	}
+	e := &s.events[idx]
+	at, fn := e.at, e.fn
+	e.fn = nil // release the closure; the slot is dead until reused
+	s.free = append(s.free, idx)
+	return at, fn
 }
 
 // Stop makes Run return after the current event completes. Pending events
@@ -118,7 +190,7 @@ func (s *Simulator) Stop() { s.stopped = true }
 // Run dispatches events in (time, sequence) order until the heap is empty
 // or Stop is called. It returns the time of the last dispatched event.
 func (s *Simulator) Run() Time {
-	return s.RunUntil(Time(1<<63 - 1))
+	return s.RunUntil(maxTime)
 }
 
 // RunUntil dispatches events with timestamps <= deadline, then advances
@@ -127,16 +199,16 @@ func (s *Simulator) Run() Time {
 func (s *Simulator) RunUntil(deadline Time) Time {
 	s.stopped = false
 	for len(s.heap) > 0 && !s.stopped {
-		if s.heap[0].at > deadline {
+		if s.events[s.heap[0]].at > deadline {
 			s.now = deadline
 			return s.now
 		}
-		e := heap.Pop(&s.heap).(*event)
-		s.now = e.at
+		at, fn := s.pop()
+		s.now = at
 		s.executed++
-		e.fn()
+		fn()
 	}
-	if s.now < deadline && deadline != Time(1<<63-1) {
+	if s.now < deadline && deadline != maxTime {
 		s.now = deadline
 	}
 	return s.now
@@ -148,9 +220,9 @@ func (s *Simulator) Step() bool {
 	if len(s.heap) == 0 {
 		return false
 	}
-	e := heap.Pop(&s.heap).(*event)
-	s.now = e.at
+	at, fn := s.pop()
+	s.now = at
 	s.executed++
-	e.fn()
+	fn()
 	return true
 }

@@ -336,7 +336,7 @@ func (c *Conn) Recv(p *sim.Proc, dst mem.Buffer, n int) {
 		pd.off += m
 		c.rxAvail -= m
 		need -= m
-		off = (off + m) % maxInt(dst.Size, 1)
+		off = (off + m) % max(dst.Size, 1)
 		if pd.remaining() == 0 {
 			c.rxq = c.rxq[1:]
 			done = append(done, pd)
@@ -404,9 +404,3 @@ func (c *Conn) credit(m int) {
 // Available reports how many received bytes are queued and unconsumed.
 func (c *Conn) Available() int { return c.rxAvail }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -1,0 +1,52 @@
+#!/bin/sh
+# bench.sh — wall-clock benchmark of the ioatbench suite, sequential vs
+# parallel, writing BENCH_PR1.json at the repo root. The tables are
+# byte-identical between the two modes (asserted here); only wall-clock
+# differs. Usage: scripts/bench.sh [scale] (default 0.25).
+set -eu
+
+cd "$(dirname "$0")/.."
+SCALE="${1:-0.25}"
+OUT=BENCH_PR1.json
+BIN="$(mktemp -d)/ioatbench"
+trap 'rm -rf "$(dirname "$BIN")"' EXIT
+
+go build -o "$BIN" ./cmd/ioatbench
+
+seq_json="$(dirname "$BIN")/seq.json"
+par_json="$(dirname "$BIN")/par.json"
+
+echo "sequential run (scale $SCALE)..." >&2
+"$BIN" -scale "$SCALE" -parallel 1 -json >"$seq_json"
+echo "parallel run (scale $SCALE, one worker per core)..." >&2
+"$BIN" -scale "$SCALE" -parallel 0 -json >"$par_json"
+
+# The result tables must not depend on the worker count.
+strip_timing() {
+    grep -v '"wall' "$1" | grep -v '"speedup"\|"parallel"\|"workers"\|"experiment_s"' >"$2"
+}
+strip_timing "$seq_json" "$seq_json.tables"
+strip_timing "$par_json" "$par_json.tables"
+if ! diff "$seq_json.tables" "$par_json.tables" >/dev/null; then
+    echo "FATAL: parallel results differ from sequential" >&2
+    exit 1
+fi
+
+extract() { grep -o "\"$2\": [0-9.]*" "$1" | head -1 | cut -d' ' -f2; }
+seq_s=$(extract "$seq_json" wall_s)
+par_s=$(extract "$par_json" wall_s)
+workers=$(extract "$par_json" workers)
+speedup=$(awk -v a="$seq_s" -v b="$par_s" 'BEGIN { printf "%.2f", (b > 0) ? a/b : 1 }')
+
+cat >"$OUT" <<EOF
+{
+  "pr": 1,
+  "bench": "ioatbench full suite",
+  "scale": $SCALE,
+  "workers": $workers,
+  "sequential_wall_s": $seq_s,
+  "parallel_wall_s": $par_s,
+  "speedup": $speedup
+}
+EOF
+echo "wrote $OUT: sequential ${seq_s}s, parallel ${par_s}s on $workers workers (${speedup}x)" >&2
