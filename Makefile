@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench sim-bench clean
+.PHONY: all build vet test race golden fuzz-smoke bench-smoke bench sim-bench clean
 
 all: build vet test
 
@@ -16,6 +16,18 @@ test:
 # Race-audit the whole tree, including the parallel sweep runner.
 race:
 	$(GO) test -race ./...
+
+# Regenerate the golden corpus (testdata/golden/) from the current
+# simulator output. Review the diff before committing: every changed
+# number is a claim that the simulation intentionally changed.
+golden:
+	$(GO) test . -run 'TestGoldenCorpus$$' -update
+
+# Short fuzz pass over the transport segmentation and cache invariants;
+# CI runs this on every push.
+fuzz-smoke:
+	$(GO) test ./internal/tcp -run '^$$' -fuzz FuzzTCPSegmentation -fuzztime 15s
+	$(GO) test ./internal/mem -run '^$$' -fuzz FuzzCacheAccessRange -fuzztime 15s
 
 # A fast end-to-end pass over every experiment: shapes only, tiny scale.
 bench-smoke: build

@@ -8,6 +8,7 @@
 //	ioatbench -scale 0.25        # shorten runs (shape-preserving)
 //	ioatbench -parallel 0        # auto: one worker per core (default)
 //	ioatbench -parallel 1        # strictly sequential
+//	ioatbench -check             # audit every run with the invariant checker
 //	ioatbench -json              # machine-readable results on stdout
 //
 // Every simulation point is independent and deterministic, so -parallel
@@ -65,6 +66,7 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "scale factor for run lengths and request counts")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		parallel = flag.Int("parallel", 0, "concurrent simulation points (0 = one per core, 1 = sequential)")
+		checked  = flag.Bool("check", false, "run under the runtime invariant checker (slower; aborts on violations)")
 		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	)
 	flag.Parse()
@@ -76,7 +78,7 @@ func main() {
 		return
 	}
 
-	cfg := bench.Config{Seed: *seed, Scale: *scale, Parallel: *parallel}
+	cfg := bench.Config{Seed: *seed, Scale: *scale, Parallel: *parallel, Check: *checked}
 	runners := bench.Experiments()
 	if *run != "" {
 		runners = runners[:0:0]

@@ -117,4 +117,3 @@ func main() {
 	fmt.Printf("CPU: node1=%.1f%% node2=%.1f%% (node2 rx-core0 %.1f%%)\n",
 		a.CPU.Utilization()*100, b.CPU.Utilization()*100, b.CPU.CoreUtilization(0)*100)
 }
-

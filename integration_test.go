@@ -14,9 +14,10 @@ import (
 )
 
 // TestByteConservation checks that every byte a sender hands to the
-// transport is delivered exactly once across a mixed multi-stream run.
+// transport is delivered exactly once across a mixed multi-stream run,
+// with the runtime invariant checker auditing every layer in between.
 func TestByteConservation(t *testing.T) {
-	cl, a, b := host.Testbed1(cost.Default(), ioat.Linux(), 1)
+	cl, a, b := host.Testbed1(cost.Default(), ioat.Linux(), 1, host.WithCheck())
 	sizes := []int{1, 777, 4 * cost.KB, 100 * cost.KB, 3 * cost.MB}
 	var want int64
 	for i, n := range sizes {
@@ -34,6 +35,12 @@ func TestByteConservation(t *testing.T) {
 	}
 	if live := b.NIC.PoolLiveBytes(); live != 0 {
 		t.Fatalf("kernel buffers leaked: %d bytes", live)
+	}
+	if fl := cl.Check.Ledger("tcp:stream").InFlight(); fl != 0 {
+		t.Fatalf("%d stream bytes in flight after the run drained", fl)
+	}
+	if err := cl.Verify(); err != nil {
+		t.Fatal(err)
 	}
 }
 

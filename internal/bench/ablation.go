@@ -60,7 +60,7 @@ func AblPin(cfg Config) *Result {
 	rows := points(cfg, len(mults), func(i int) pinRow {
 		p := cost.Default()
 		p.PinPerPage = time.Duration(mults[i]) * 150 * time.Nanosecond
-		cl, node, _ := host.Testbed1(p, ioat.Linux(), cfg.Seed)
+		cl, node, _ := host.Testbed1(p, ioat.Linux(), cfg.Seed, cfg.hostOpts()...)
 		var r pinRow
 		cl.S.Spawn("ablpin", func(pr *sim.Proc) {
 			size := 64 * cost.KB
@@ -76,6 +76,7 @@ func AblPin(cfg Config) *Result {
 			done.Wait(pr)
 		})
 		cl.S.Run()
+		cl.MustVerify()
 		return r
 	})
 	for i, r := range rows {

@@ -29,6 +29,20 @@ type Config struct {
 	Seed     uint64
 	Scale    float64
 	Parallel int
+
+	// Check runs every simulation under the runtime invariant checker
+	// (byte conservation, event causality, utilization bounds) and panics
+	// on any violation. Tests set it; benchmarks leave it off so the hot
+	// paths stay probe-free.
+	Check bool
+}
+
+// hostOpts translates the config into cluster-construction options.
+func (c Config) hostOpts() []host.Option {
+	if c.Check {
+		return []host.Option{host.WithCheck()}
+	}
+	return nil
 }
 
 // DefaultConfig runs paper-sized experiments.
@@ -170,7 +184,7 @@ func runMicro(p *cost.Params, feat ioat.Features, cfg Config,
 // extra metrics such as per-core utilization.
 func runMicroWith(p *cost.Params, feat ioat.Features, cfg Config,
 	build func(a, b *host.Node) []stream, post func(a, b *host.Node)) microResult {
-	cl, a, b := host.Testbed1(p, feat, cfg.Seed)
+	cl, a, b := host.Testbed1(p, feat, cfg.Seed, cfg.hostOpts()...)
 	streams := build(a, b)
 	for _, sp := range streams {
 		sp.launch()
@@ -199,11 +213,13 @@ func runMicroWith(p *cost.Params, feat ioat.Features, cfg Config,
 	if post != nil {
 		post(a, b)
 	}
-	return microResult{
+	r := microResult{
 		mbps:    mbps,
 		cpuRecv: b.CPU.Utilization(),
 		cpuSend: a.CPU.Utilization(),
 	}
+	cl.MustVerify()
+	return r
 }
 
 // points runs fn for every point index of a figure, concurrently up to

@@ -51,7 +51,7 @@ func ExtIPC(cfg Config) *Result {
 	rows := points(cfg, len(sizes), func(i int) ipcRow {
 		size := sizes[i]
 		run := func(mode ipc.Mode) (float64, float64) {
-			cl := host.NewCluster(cost.Default(), cfg.Seed)
+			cl := host.NewCluster(cost.Default(), cfg.Seed, cfg.hostOpts()...)
 			n := cl.Add("n", ioat.Linux(), 1)
 			ch := ipc.New(n, size, 16)
 			ch.Mode = mode
@@ -73,7 +73,9 @@ func ExtIPC(cfg Config) *Result {
 			mark := ch.Bytes
 			cl.S.RunUntil(sim.Time(meas/4 + meas))
 			mbps := float64(ch.Bytes-mark) / meas.Seconds() / 1e6
-			return mbps, n.CPU.Utilization()
+			util := n.CPU.Utilization()
+			cl.MustVerify()
+			return mbps, util
 		}
 		var r ipcRow
 		r.cpuMBps, r.cpuUtil = run(ipc.CPUCopy)

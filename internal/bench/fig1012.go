@@ -15,11 +15,12 @@ type pvfsPair struct{ plain, accel pvfs.Metrics }
 // pvfsOptions builds the shared PVFS options for one run.
 func pvfsOptions(cfg Config, feat ioat.Features) pvfs.Options {
 	return pvfs.Options{
-		P:    cost.Default(),
-		Feat: feat,
-		Seed: cfg.Seed,
-		Warm: cfg.duration(60 * time.Millisecond),
-		Meas: cfg.duration(240 * time.Millisecond),
+		P:     cost.Default(),
+		Feat:  feat,
+		Seed:  cfg.Seed,
+		Check: cfg.Check,
+		Warm:  cfg.duration(60 * time.Millisecond),
+		Meas:  cfg.duration(240 * time.Millisecond),
 	}
 }
 

@@ -21,7 +21,7 @@ type fig6Row struct {
 // The platform features only matter in that the node must have a copy
 // engine.
 func fig6Point(cfg Config, size int) fig6Row {
-	cl, node, _ := host.Testbed1(cost.Default(), ioat.Linux(), cfg.Seed)
+	cl, node, _ := host.Testbed1(cost.Default(), ioat.Linux(), cfg.Seed, cfg.hostOpts()...)
 	row := fig6Row{size: size}
 	cl.S.Spawn("fig6", func(p *sim.Proc) {
 		// copy-cache: warm both buffers first.
@@ -51,6 +51,7 @@ func fig6Point(cfg Config, size int) fig6Row {
 		row.dmaTotal = p.Now().Sub(start)
 	})
 	cl.S.Run()
+	cl.MustVerify()
 	return row
 }
 

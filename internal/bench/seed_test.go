@@ -1,0 +1,46 @@
+package bench
+
+import "testing"
+
+// seedCfg is deliberately tiny: seed behaviour does not depend on scale,
+// and every experiment runs twice (or more) in these tests.
+func seedCfg(seed uint64) Config {
+	return Config{Seed: seed, Scale: 0.02, Parallel: 1}
+}
+
+// TestSeedStability re-runs every experiment with the same seed and
+// requires byte-identical tables: the simulator must be a pure function
+// of (experiment, Config).
+func TestSeedStability(t *testing.T) {
+	for _, r := range Experiments() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			t.Parallel()
+			first := r.Run(seedCfg(1)).String()
+			second := r.Run(seedCfg(1)).String()
+			if first != second {
+				t.Errorf("%s is not deterministic: two runs with Seed=1 differ\nfirst:\n%s\nsecond:\n%s",
+					r.ID, first, second)
+			}
+		})
+	}
+}
+
+// TestSeedSensitivity requires that the seed actually reaches the
+// stochastic experiments: changing it must change at least one of the
+// figures whose workloads draw from the cluster RNG (random working-set
+// touches, Zipf traces). A seed that changes nothing means the RNG is
+// wired to a constant somewhere.
+func TestSeedSensitivity(t *testing.T) {
+	stochastic := []string{"fig8a", "fig8b", "fig9", "ext3tier"}
+	for _, id := range stochastic {
+		r, ok := Find(id)
+		if !ok {
+			t.Fatalf("unknown experiment %s", id)
+		}
+		if r.Run(seedCfg(1)).String() != r.Run(seedCfg(2)).String() {
+			return
+		}
+	}
+	t.Errorf("Seed change had no effect on any of %v", stochastic)
+}

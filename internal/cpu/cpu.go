@@ -13,6 +13,7 @@ import (
 	"math"
 	"time"
 
+	"ioatsim/internal/check"
 	"ioatsim/internal/cost"
 	"ioatsim/internal/sim"
 )
@@ -28,6 +29,8 @@ type CPU struct {
 	markAt       sim.Time
 	markBusy     time.Duration
 	markCoreBusy []time.Duration
+
+	chk *check.Checker
 }
 
 type core struct {
@@ -41,7 +44,8 @@ func New(s *sim.Simulator, p *cost.Params) *CPU {
 		panic("cpu: need at least one core")
 	}
 	return &CPU{S: s, P: p, cores: make([]core, p.Cores),
-		markCoreBusy: make([]time.Duration, p.Cores)}
+		markCoreBusy: make([]time.Duration, p.Cores),
+		chk:          check.Enabled(s)}
 }
 
 // NumCores returns the number of cores.
@@ -70,6 +74,13 @@ func (c *CPU) enqueue(i int, d time.Duration) sim.Time {
 		start = now
 	}
 	end := start.Add(d)
+	if c.chk != nil {
+		// A core's schedule only ever extends: completion times are
+		// monotone and busy time accumulates.
+		c.chk.Assert(end >= co.nextFree && end >= now,
+			"cpu", "core %d completion %v behind its queue (nextFree %v, now %v)",
+			i, end, co.nextFree, now)
+	}
 	co.nextFree = end
 	co.busy += d
 	return end
@@ -155,7 +166,11 @@ func (c *CPU) Utilization() float64 {
 		return 0
 	}
 	busy := c.busyUpTo(now) - c.markBusy
-	return busy.Seconds() / (float64(len(c.cores)) * now.Sub(c.markAt).Seconds())
+	u := busy.Seconds() / (float64(len(c.cores)) * now.Sub(c.markAt).Seconds())
+	if c.chk != nil {
+		c.chk.InRange("cpu", "utilization", u, 0, 1+1e-9)
+	}
+	return u
 }
 
 // BusyTime returns the total busy time across cores since the last
@@ -172,7 +187,11 @@ func (c *CPU) CoreUtilization(i int) float64 {
 		return 0
 	}
 	b := c.coreBusyUpTo(i, now) - c.markCoreBusy[i]
-	return b.Seconds() / now.Sub(c.markAt).Seconds()
+	u := b.Seconds() / now.Sub(c.markAt).Seconds()
+	if c.chk != nil {
+		c.chk.InRange("cpu", "core utilization", u, 0, 1+1e-9)
+	}
+	return u
 }
 
 // RegisterThread records one more schedulable thread on this node.

@@ -101,7 +101,19 @@ type Options struct {
 	// CacheBytes enables the proxy content cache when positive.
 	CacheBytes int
 
+	// Check runs the simulation under the runtime invariant checker and
+	// panics on any violation at the end of the run.
+	Check bool
+
 	Warm, Meas time.Duration
+}
+
+// hostOpts translates Options into cluster-construction options.
+func (o Options) hostOpts() []host.Option {
+	if o.Check {
+		return []host.Option{host.WithCheck()}
+	}
+	return nil
 }
 
 func (o *Options) defaults() {

@@ -16,7 +16,7 @@ import (
 // with the same I/OAT feature set, clients on plain machines.
 func RunTwoTier(o Options) Metrics {
 	o.defaults()
-	cl := host.NewCluster(o.P, o.Seed)
+	cl := host.NewCluster(o.P, o.Seed, o.hostOpts()...)
 	proxyNode := cl.Add("proxy", o.Feat, 6)
 	webNode := cl.Add("web", o.Feat, 6)
 	clients := cl.AddClients(o.ClientNodes, ioat.None())
@@ -47,7 +47,7 @@ func RunTwoTier(o Options) Metrics {
 // node's CPU.
 func RunEmulated(o Options, threads int) Metrics {
 	o.defaults()
-	cl := host.NewCluster(o.P, o.Seed)
+	cl := host.NewCluster(o.P, o.Seed, o.hostOpts()...)
 	clientNode := cl.Add("client", o.Feat, 6)
 	webNode := cl.Add("web", o.Feat, 6)
 
@@ -198,5 +198,6 @@ func measure(cl *host.Cluster, o Options, completed *int64,
 	if client != nil {
 		m.ClientCPU = client.Node.CPU.Utilization()
 	}
+	cl.MustVerify()
 	return m
 }

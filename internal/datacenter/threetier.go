@@ -150,7 +150,7 @@ func appWorker(p *sim.Proc, idx int, app *Tier, db *host.Node, client *msg.Conn,
 // tier with the same I/OAT feature set.
 func RunThreeTier(o ThreeTierOptions) ThreeTierMetrics {
 	o.defaults()
-	cl := host.NewCluster(o.P, o.Seed)
+	cl := host.NewCluster(o.P, o.Seed, o.hostOpts()...)
 	proxyNode := cl.Add("proxy", o.Feat, 6)
 	appNode := cl.Add("app", o.Feat, 6)
 	dbNode := cl.Add("db", o.Feat, 6)
@@ -203,6 +203,7 @@ func RunThreeTier(o ThreeTierOptions) ThreeTierMetrics {
 	m.ProxyCPU = proxyNode.CPU.Utilization()
 	m.AppCPU = appNode.CPU.Utilization()
 	m.DBCPU = dbNode.CPU.Utilization()
+	cl.MustVerify()
 	return m
 }
 

@@ -9,6 +9,7 @@ package dma
 import (
 	"time"
 
+	"ioatsim/internal/check"
 	"ioatsim/internal/cost"
 	"ioatsim/internal/mem"
 	"ioatsim/internal/sim"
@@ -29,11 +30,13 @@ type Engine struct {
 	busy       time.Duration
 	markAt     sim.Time
 	markBusy   time.Duration
+
+	chk *check.Checker
 }
 
 // New returns an idle engine.
 func New(s *sim.Simulator, p *cost.Params, m *mem.Model) *Engine {
-	return &Engine{S: s, P: p, Mem: m}
+	return &Engine{S: s, P: p, Mem: m, chk: check.Enabled(s)}
 }
 
 // SetupCost returns the CPU time to program one n-byte transfer: a fixed
@@ -74,17 +77,54 @@ func (e *Engine) Submit(src, dst mem.Addr, n int) *sim.Completion {
 	}
 	xfer := e.TransferTime(n)
 	end := start.Add(xfer)
+	if e.chk != nil {
+		e.auditDescriptors(src, n)
+		e.chk.Assert(end >= e.nextFree && end >= now,
+			"dma", "transfer finishing %v behind the engine queue (nextFree %v)", end, e.nextFree)
+		e.chk.Ledger("dma:bytes").In(int64(n))
+	}
 	e.nextFree = end
 	e.busy += xfer
 	e.S.At(end, func() {
 		e.Transfers++
 		e.BytesMoved += int64(n)
+		if e.chk != nil {
+			e.chk.Ledger("dma:bytes").Out(int64(n))
+		}
 		if e.Mem != nil {
 			e.Mem.DMAWrite(dst, n)
 		}
 		done.Complete()
 	})
 	return done
+}
+
+// auditDescriptors walks the descriptor chain the engine would program
+// for an n-byte transfer from src — one descriptor per spanned source
+// page, split at page boundaries — and verifies that the descriptor
+// byte counts sum exactly to the transfer length and that the chain is
+// no longer than the SetupCost model charges for.
+func (e *Engine) auditDescriptors(src mem.Addr, n int) {
+	if n == 0 {
+		return
+	}
+	page := e.P.PageSize
+	descs, sum := 0, 0
+	for off := 0; off < n; descs++ {
+		span := page - int((uint64(src)+uint64(off))%uint64(page))
+		if span > n-off {
+			span = n - off
+		}
+		sum += span
+		off += span
+	}
+	e.chk.Assert(sum == n,
+		"dma", "descriptor chain covers %d bytes of a %d-byte transfer", sum, n)
+	// An unaligned start adds at most one descriptor over the page count
+	// SetupCost charges for.
+	e.chk.Assert(descs <= e.P.Pages(n)+1,
+		"dma", "%d-byte transfer needs %d descriptors, model charges for %d pages",
+		n, descs, e.P.Pages(n))
 }
 
 // QueueDelay reports how long a transfer submitted now would wait before
@@ -119,5 +159,9 @@ func (e *Engine) Utilization() float64 {
 		return 0
 	}
 	busy := e.busyUpTo(now) - e.markBusy
-	return busy.Seconds() / now.Sub(e.markAt).Seconds()
+	u := busy.Seconds() / now.Sub(e.markAt).Seconds()
+	if e.chk != nil {
+		e.chk.InRange("dma", "engine utilization", u, 0, 1+1e-9)
+	}
+	return u
 }

@@ -12,6 +12,7 @@ package host
 import (
 	"fmt"
 
+	"ioatsim/internal/check"
 	"ioatsim/internal/cost"
 	"ioatsim/internal/cpu"
 	"ioatsim/internal/dma"
@@ -40,6 +41,7 @@ type Node struct {
 // NewNode builds a machine with nports NIC ports.
 func NewNode(s *sim.Simulator, p *cost.Params, feat ioat.Features, name string, nports int) *Node {
 	m := mem.NewModel(p)
+	m.SetChecker(check.Enabled(s))
 	c := cpu.New(s, p)
 	e := dma.New(s, p, m)
 	n := nic.New(s, p, c, m, e, feat, name, nports)
@@ -68,13 +70,54 @@ type Cluster struct {
 	Rand   *rng.Rand
 	Nodes  []*Node
 	byName map[string]*Node
+
+	// Check is the invariant checker installed by WithCheck, nil otherwise.
+	Check *check.Checker
+}
+
+// Option configures a Cluster under construction.
+type Option func(*Cluster)
+
+// WithCheck installs a runtime invariant checker on the cluster's
+// simulator: every device built on it self-registers its probes, and
+// Verify reports the verdict at the end of the run.
+func WithCheck() Option {
+	return func(c *Cluster) { c.Check = check.New() }
 }
 
 // NewCluster returns an empty cluster with a deterministic RNG.
-func NewCluster(p *cost.Params, seed uint64) *Cluster {
-	return &Cluster{
-		S: sim.New(), P: p, Rand: rng.New(seed),
+func NewCluster(p *cost.Params, seed uint64, opts ...Option) *Cluster {
+	c := &Cluster{
+		P: p, Rand: rng.New(seed),
 		byName: make(map[string]*Node),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.Check != nil {
+		c.S = sim.New(sim.WithProbe(c.Check))
+	} else {
+		c.S = sim.New()
+	}
+	return c
+}
+
+// Verify finalizes the invariant checker (running its end-of-run audits)
+// and returns the first violation, or nil if the run was clean or
+// unchecked.
+func (c *Cluster) Verify() error {
+	if c.Check == nil {
+		return nil
+	}
+	c.Check.Finish()
+	return c.Check.Err()
+}
+
+// MustVerify panics on the first recorded invariant violation. Harness
+// code calls it after a checked run so violations fail loudly.
+func (c *Cluster) MustVerify() {
+	if err := c.Verify(); err != nil {
+		panic("host: invariant violation: " + err.Error())
 	}
 }
 
@@ -108,8 +151,8 @@ func (c *Cluster) ResetMeters() {
 // Testbed1 builds the paper's two-node micro-benchmark testbed: both
 // nodes run the same feature set and have six 1-GbE ports connected
 // port-to-port (the paper's per-port VLANs).
-func Testbed1(p *cost.Params, feat ioat.Features, seed uint64) (*Cluster, *Node, *Node) {
-	c := NewCluster(p, seed)
+func Testbed1(p *cost.Params, feat ioat.Features, seed uint64, opts ...Option) (*Cluster, *Node, *Node) {
+	c := NewCluster(p, seed, opts...)
 	a := c.Add("node1", feat, 6)
 	b := c.Add("node2", feat, 6)
 	return c, a, b

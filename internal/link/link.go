@@ -8,6 +8,7 @@ package link
 import (
 	"time"
 
+	"ioatsim/internal/check"
 	"ioatsim/internal/sim"
 )
 
@@ -43,6 +44,8 @@ type Port struct {
 	RxBytes     int64 // payload bytes received
 	TxWireBytes int64
 	RxWireBytes int64
+
+	chk *check.Checker
 }
 
 // NewPort returns an idle port.
@@ -50,7 +53,8 @@ func NewPort(s *sim.Simulator, node string, index int, rateBps int64, prop time.
 	if rateBps <= 0 {
 		panic("link: non-positive rate")
 	}
-	return &Port{S: s, Node: node, Index: index, RateBps: rateBps, Prop: prop}
+	return &Port{S: s, Node: node, Index: index, RateBps: rateBps, Prop: prop,
+		chk: check.Enabled(s)}
 }
 
 // serTime returns the serialization time of n wire bytes at the port rate.
@@ -67,6 +71,17 @@ func (p *Port) Send(dst *Port, c *Chunk) {
 	}
 	now := p.S.Now()
 	ser := p.serTime(c.WireBytes)
+	if p.chk != nil {
+		// Every chunk entering the fabric is accounted; the delivery
+		// event balances it. WireBytes carries payload plus per-frame
+		// overhead, so it can never be smaller than the payload.
+		p.chk.Assert(c.Bytes >= 0 && c.WireBytes >= c.Bytes,
+			"link", "chunk with %d payload bytes in %d wire bytes", c.Bytes, c.WireBytes)
+		p.chk.Assert(c.Frames >= 1,
+			"link", "chunk of %d bytes spans %d frames", c.Bytes, c.Frames)
+		p.chk.Ledger("link:payload").In(int64(c.Bytes))
+		p.chk.Ledger("link:wire").In(int64(c.WireBytes))
+	}
 
 	txStart := p.txFree
 	if txStart < now {
@@ -87,6 +102,10 @@ func (p *Port) Send(dst *Port, c *Chunk) {
 	p.S.At(deliverAt, func() {
 		dst.RxBytes += int64(c.Bytes)
 		dst.RxWireBytes += int64(c.WireBytes)
+		if p.chk != nil {
+			p.chk.Ledger("link:payload").Out(int64(c.Bytes))
+			p.chk.Ledger("link:wire").Out(int64(c.WireBytes))
+		}
 		if dst.Deliver == nil {
 			panic("link: chunk delivered to port with no NIC attached")
 		}

@@ -1,5 +1,7 @@
 package mem
 
+import "fmt"
+
 // Cache is a set-associative LRU cache with write-allocate semantics,
 // indexed by synthetic physical address. It tracks only presence, not
 // data; the cost model turns hit/miss outcomes into time.
@@ -201,6 +203,55 @@ func (c *Cache) Flush() {
 	for i := range c.lines {
 		c.lines[i] = cacheLine{}
 	}
+}
+
+// OccupiedLines returns how many valid lines the cache currently holds.
+func (c *Cache) OccupiedLines() int {
+	count := 0
+	for i := range c.lines {
+		if c.lines[i].tag != 0 {
+			count++
+		}
+	}
+	return count
+}
+
+// Lines returns the total line capacity.
+func (c *Cache) Lines() int { return c.nsets * c.ways }
+
+// Audit walks the whole structure and verifies its invariants: total
+// occupancy within capacity, every valid tag indexed into the set that
+// holds it, no duplicate tags within a set, and no LRU stamp from the
+// future. It returns the first violation found, or nil. The walk is
+// O(lines), so the invariant checker runs it periodically and at the
+// end of a run, not per access.
+func (c *Cache) Audit() error {
+	if occ := c.OccupiedLines(); occ > c.Lines() {
+		return fmt.Errorf("mem: cache occupancy %d exceeds capacity %d lines", occ, c.Lines())
+	}
+	for set := 0; set < c.nsets; set++ {
+		ways := c.lines[set*c.ways:][:c.ways]
+		for i := range ways {
+			if ways[i].last > c.tick {
+				return fmt.Errorf("mem: set %d way %d LRU stamp %d is from the future (tick %d)",
+					set, i, ways[i].last, c.tick)
+			}
+			if ways[i].tag == 0 {
+				continue
+			}
+			if got := int((ways[i].tag - 1) & c.mask); got != set {
+				return fmt.Errorf("mem: set %d way %d holds tag %#x which indexes set %d",
+					set, i, ways[i].tag, got)
+			}
+			for j := i + 1; j < len(ways); j++ {
+				if ways[j].tag == ways[i].tag {
+					return fmt.Errorf("mem: set %d holds duplicate tag %#x (ways %d and %d)",
+						set, ways[i].tag, i, j)
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // Resident returns how many lines of [addr, addr+n) are currently cached.

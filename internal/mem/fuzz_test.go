@@ -1,0 +1,76 @@
+package mem
+
+import "testing"
+
+// FuzzCacheAccessRange hammers a fuzz-chosen cache geometry with an
+// arbitrary stream of range accesses, direct installs, invalidations and
+// flushes, then audits the whole structure: occupancy never exceeds
+// capacity, every tag indexes its own set, no set holds duplicates, and
+// hit/miss accounting matches the lines touched.
+func FuzzCacheAccessRange(f *testing.F) {
+	f.Add(uint8(2), uint8(3), uint8(4), []byte{0, 1, 2, 3, 255, 17, 64, 128})
+	f.Add(uint8(0), uint8(0), uint8(0), []byte{9, 9, 9})
+	f.Add(uint8(5), uint8(1), uint8(7), []byte{})
+
+	f.Fuzz(func(t *testing.T, lineSel, waySel, setSel uint8, ops []byte) {
+		lineSize := 16 << (int(lineSel) % 5) // 16..256, power of two
+		ways := 1 + int(waySel)%8            // 1..8
+		nsets := 1 << (int(setSel) % 7)      // 1..64, power of two
+		size := lineSize * ways * nsets
+		c := NewCache(size, lineSize, ways)
+
+		span := 4 * size // address range spanning several aliasing rounds
+		var accHits, accMisses int
+		for i := 0; i+2 < len(ops); i += 3 {
+			addr := Addr(int(ops[i]) * span / 256)
+			n := int(ops[i+1]) * span / 256
+			switch ops[i+2] % 5 {
+			case 0:
+				hits, misses := c.AccessRange(addr, n)
+				lines := spanLines(c, addr, n)
+				if hits+misses != lines {
+					t.Fatalf("AccessRange(%d, %d): %d hits + %d misses != %d lines touched",
+						addr, n, hits, misses, lines)
+				}
+				accHits += hits
+				accMisses += misses
+			case 1:
+				c.Access(addr)
+			case 2:
+				if ev := c.Install(addr, n); ev > spanLines(c, addr, n) {
+					t.Fatalf("Install(%d, %d) evicted %d lines for %d installed",
+						addr, n, ev, spanLines(c, addr, n))
+				}
+			case 3:
+				c.Invalidate(addr, n)
+			case 4:
+				c.Flush()
+				if occ := c.OccupiedLines(); occ != 0 {
+					t.Fatalf("flushed cache still holds %d lines", occ)
+				}
+			}
+			if occ := c.OccupiedLines(); occ > c.Lines() {
+				t.Fatalf("occupancy %d lines exceeds capacity %d", occ, c.Lines())
+			}
+		}
+		if err := c.Audit(); err != nil {
+			t.Fatalf("structural audit failed: %v", err)
+		}
+		// Range accesses alone can never over-count: every resident line
+		// was brought in by some miss.
+		if int(c.Hits) < accHits || int(c.Misses) < accMisses {
+			t.Fatalf("global counters (%d/%d) below range-access counters (%d/%d)",
+				c.Hits, c.Misses, accHits, accMisses)
+		}
+	})
+}
+
+// spanLines returns how many cache lines [addr, addr+n) covers.
+func spanLines(c *Cache, addr Addr, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	first := uint64(addr) >> c.shift
+	last := (uint64(addr) + uint64(n) - 1) >> c.shift
+	return int(last - first + 1)
+}

@@ -3,14 +3,24 @@ package mem
 import (
 	"time"
 
+	"ioatsim/internal/check"
 	"ioatsim/internal/cost"
 )
+
+// auditEvery is how many priced operations pass between two structural
+// cache audits in checked mode: a full walk per operation would swamp
+// the run, one every few thousand still catches corruption long before
+// the end-of-run audit.
+const auditEvery = 4096
 
 // Model prices memory operations against one node's cache.
 type Model struct {
 	P     *cost.Params
 	Cache *Cache
 	Space *Space
+
+	chk *check.Checker
+	ops uint64
 }
 
 // NewModel returns a memory model with a fresh cache and address space.
@@ -19,6 +29,34 @@ func NewModel(p *cost.Params) *Model {
 		P:     p,
 		Cache: NewCache(p.CacheSize, p.CacheLine, p.CacheWays),
 		Space: NewSpace(),
+	}
+}
+
+// SetChecker puts the model in checked mode: priced operations audit
+// the cache structure every auditEvery calls, and one full audit is
+// registered to run when the checker finishes.
+func (m *Model) SetChecker(c *check.Checker) {
+	if c == nil {
+		return
+	}
+	m.chk = c
+	c.OnFinish(func(c *check.Checker) {
+		if err := m.Cache.Audit(); err != nil {
+			c.Failf("mem", "final cache audit: %v", err)
+		}
+		c.InRange("mem", "cache occupancy", float64(m.Cache.OccupiedLines()),
+			0, float64(m.Cache.Lines()))
+	})
+}
+
+// observe is the per-operation probe: hit/miss counters must be
+// monotone and consistent, and the structure is audited periodically.
+func (m *Model) observe() {
+	m.ops++
+	if m.ops%auditEvery == 0 {
+		if err := m.Cache.Audit(); err != nil {
+			m.chk.Failf("mem", "cache audit after %d ops: %v", m.ops, err)
+		}
 	}
 }
 
@@ -32,9 +70,23 @@ func (m *Model) CopyCost(src, dst Addr, n int) time.Duration {
 	}
 	sh, sm := m.Cache.AccessRange(src, n)
 	dh, dm := m.Cache.AccessRange(dst, n)
+	if m.chk != nil {
+		m.chk.Assert(sh+sm == m.lineSpan(src, n) && dh+dm == m.lineSpan(dst, n),
+			"mem", "copy of %d bytes touched %d+%d source and %d+%d destination lines",
+			n, sh, sm, dh, dm)
+		m.observe()
+	}
 	hits := time.Duration(sh + dh)
 	misses := time.Duration(sm + dm)
 	return hits*m.P.StreamHit + misses*m.P.StreamMiss
+}
+
+// lineSpan returns how many cache lines [addr, addr+n) covers (n > 0).
+func (m *Model) lineSpan(addr Addr, n int) int {
+	line := uint64(m.P.CacheLine)
+	first := uint64(addr) / line
+	last := (uint64(addr) + uint64(n) - 1) / line
+	return int(last - first + 1)
 }
 
 // TouchCost prices a streaming read or write pass over [addr, addr+n),
@@ -44,6 +96,11 @@ func (m *Model) TouchCost(addr Addr, n int) time.Duration {
 		return 0
 	}
 	h, miss := m.Cache.AccessRange(addr, n)
+	if m.chk != nil {
+		m.chk.Assert(h+miss == m.lineSpan(addr, n),
+			"mem", "touch of %d bytes counted %d hits + %d misses", n, h, miss)
+		m.observe()
+	}
 	return time.Duration(h)*m.P.StreamHit + time.Duration(miss)*m.P.StreamMiss
 }
 
@@ -59,6 +116,9 @@ func (m *Model) RandomCost(addr Addr, nLines int) time.Duration {
 		} else {
 			d += m.P.RandMiss
 		}
+	}
+	if m.chk != nil {
+		m.observe()
 	}
 	return d
 }
@@ -82,5 +142,10 @@ func (m *Model) InstallHeader(addr Addr, n int) {
 // path.
 func (m *Model) InstallPacket(addr Addr, n int) time.Duration {
 	evicted := m.Cache.Install(addr, n)
+	if m.chk != nil {
+		m.chk.Assert(evicted <= m.lineSpan(addr, n),
+			"mem", "installing %d bytes evicted %d lines, more than it spans", n, evicted)
+		m.observe()
+	}
 	return time.Duration(evicted) * m.P.EvictPenalty
 }

@@ -6,6 +6,7 @@
 package msg
 
 import (
+	"ioatsim/internal/check"
 	"ioatsim/internal/mem"
 	"ioatsim/internal/sim"
 	"ioatsim/internal/tcp"
@@ -26,6 +27,7 @@ type Conn struct {
 	inbox []Envelope
 	// hdr is the staging buffer message headers are serialized from/into.
 	hdr mem.Buffer
+	chk *check.Checker
 }
 
 // Wrap builds the framed wrapper for one endpoint. Both endpoints of a
@@ -34,7 +36,8 @@ func Wrap(c *tcp.Conn) *Conn {
 	if mc, ok := c.UserData().(*Conn); ok {
 		return mc
 	}
-	mc := &Conn{T: c, hdr: c.Stack().Mem.Space.Alloc(HeaderBytes, 0)}
+	mc := &Conn{T: c, hdr: c.Stack().Mem.Space.Alloc(HeaderBytes, 0),
+		chk: check.Enabled(c.Stack().S)}
 	c.SetUserData(mc)
 	return mc
 }
@@ -51,6 +54,12 @@ func (m *Conn) Send(p *sim.Proc, meta any, body int, src mem.Buffer, opts tcp.Se
 		panic("msg: negative body")
 	}
 	m.peer().inbox = append(m.peer().inbox, Envelope{Meta: meta, Body: body})
+	if m.chk != nil {
+		// Every envelope queued must eventually be consumed by a Recv,
+		// and framed bytes entering the stream must all come back out.
+		m.chk.Ledger("msg:env").In(1)
+		m.chk.Ledger("msg:bytes").In(int64(HeaderBytes + body))
+	}
 	// Header always goes through the normal copy path.
 	m.T.Send(p, m.hdr, HeaderBytes)
 	if body > 0 {
@@ -80,6 +89,11 @@ func (m *Conn) Recv(p *sim.Proc, dst mem.Buffer) Envelope {
 			dst = m.hdr
 		}
 		m.T.Recv(p, dst, env.Body)
+	}
+	if m.chk != nil {
+		m.chk.Assert(env.Body >= 0, "msg", "envelope with negative body %d", env.Body)
+		m.chk.Ledger("msg:env").Out(1)
+		m.chk.Ledger("msg:bytes").Out(int64(HeaderBytes + env.Body))
 	}
 	return env
 }

@@ -12,6 +12,7 @@ package nic
 import (
 	"time"
 
+	"ioatsim/internal/check"
 	"ioatsim/internal/cost"
 	"ioatsim/internal/cpu"
 	"ioatsim/internal/dma"
@@ -80,12 +81,15 @@ type NIC struct {
 	RxFrames   int64
 	Interrupts int64
 	Evictions  time.Duration // total pollution penalty charged
+
+	chk *check.Checker
 }
 
 // New returns a NIC with nports ports attached to the node.
 func New(s *sim.Simulator, p *cost.Params, c *cpu.CPU, m *mem.Model,
 	e *dma.Engine, feat ioat.Features, node string, nports int) *NIC {
-	n := &NIC{S: s, P: p, CPU: c, Mem: m, DMA: e, Feat: feat, Node: node}
+	n := &NIC{S: s, P: p, CPU: c, Mem: m, DMA: e, Feat: feat, Node: node,
+		chk: check.Enabled(s)}
 	n.rxPool = mem.NewPool(m.Space, rxBufSize(p))
 	n.hdrRing = m.Space.Alloc(p.HeaderRingBytes, 0)
 	for i := 0; i < nports; i++ {
@@ -149,6 +153,14 @@ func (n *NIC) deliver(port int, c *link.Chunk) {
 	// Interrupts: the driver coalesces up to CoalesceFrames back-to-back
 	// frames per interrupt.
 	intrs := (frames + p.CoalesceFrames - 1) / p.CoalesceFrames
+	if n.chk != nil {
+		// Exactly enough interrupts to cover the burst, never more.
+		n.chk.Assert(intrs*p.CoalesceFrames >= frames && (intrs-1)*p.CoalesceFrames < frames,
+			"nic", "%d interrupts for %d frames at budget %d", intrs, frames, p.CoalesceFrames)
+		n.chk.Assert(p.Frames(c.Bytes) == frames,
+			"nic", "chunk of %d bytes arrived in %d frames, segmentation says %d",
+			c.Bytes, frames, p.Frames(c.Bytes))
+	}
 	n.Interrupts += int64(intrs)
 	work := time.Duration(intrs) * p.Intr
 
@@ -196,9 +208,28 @@ func (n *NIC) deliver(port int, c *link.Chunk) {
 		work += n.Mem.RandomCost(flow.StateAddr(), p.ConnStateLines)
 	}
 
+	if n.chk != nil {
+		// The per-frame loop must distribute the chunk's payload exactly
+		// once across its kernel buffers.
+		n.chk.Assert(remaining == 0,
+			"nic", "chunk of %d bytes left %d bytes unplaced after %d frames",
+			c.Bytes, remaining, frames)
+		n.chk.Assert(n.rxPool.Live <= n.rxPool.Total,
+			"nic", "pool has %d live buffers but only %d were ever created",
+			n.rxPool.Live, n.rxPool.Total)
+		n.chk.Ledger("nic:rx-bytes").In(int64(c.Bytes))
+	}
+
+	arrived := n.S.Now()
 	rx := &RxChunk{Chunk: c, Flow: flow, Bufs: bufs, nic: n, Port: port}
 	n.CPU.SubmitOn(n.RxCore(port, flow), work, func() {
 		rx.ReadyAt = n.S.Now()
+		if n.chk != nil {
+			// Softirq completion cannot precede frame arrival.
+			n.chk.Assert(rx.ReadyAt >= arrived,
+				"nic", "chunk ready at %v before arrival at %v", rx.ReadyAt, arrived)
+			n.chk.Ledger("nic:rx-bytes").Out(int64(c.Bytes))
+		}
 		if n.OnReceive == nil {
 			panic("nic: no transport handler installed")
 		}

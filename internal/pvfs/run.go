@@ -24,6 +24,10 @@ type Options struct {
 	Region int
 	Write  bool
 
+	// Check runs the simulation under the runtime invariant checker and
+	// panics on any violation at the end of the run.
+	Check bool
+
 	Warm, Meas time.Duration
 }
 
@@ -60,7 +64,11 @@ type Metrics struct {
 // Run executes the concurrent read or write benchmark of §6.2.
 func Run(o Options) Metrics {
 	o.defaults()
-	cl := host.NewCluster(o.P, o.Seed)
+	var opts []host.Option
+	if o.Check {
+		opts = append(opts, host.WithCheck())
+	}
+	cl := host.NewCluster(o.P, o.Seed, opts...)
 	compute := cl.Add("compute", o.Feat, 6)
 	server := cl.Add("server", o.Feat, 6)
 	sys := New(server, o.IODs, 0)
@@ -94,9 +102,11 @@ func Run(o Options) Metrics {
 	mark := recvSide.Stack.BytesReceived
 	cl.S.RunUntil(sim.Time(o.Warm + o.Meas))
 
-	return Metrics{
+	m := Metrics{
 		MBps:      float64(recvSide.Stack.BytesReceived-mark) / o.Meas.Seconds() / 1e6,
 		ServerCPU: server.CPU.Utilization(),
 		ClientCPU: compute.CPU.Utilization(),
 	}
+	cl.MustVerify()
+	return m
 }

@@ -48,12 +48,33 @@ type event struct {
 	fn  func()
 }
 
+// Probe observes engine activity for debug-mode invariant checking
+// (see internal/check). Install one with WithProbe; without one the
+// engine pays a single predictable nil-branch per event.
+type Probe interface {
+	// EventScheduled fires inside At after validation: now is the
+	// current clock, at the requested dispatch time.
+	EventScheduled(now, at Time)
+	// EventDispatched fires as each event is popped, just before its
+	// callback runs.
+	EventDispatched(at Time)
+}
+
+// Option configures a Simulator at construction.
+type Option func(*Simulator)
+
+// WithProbe installs a probe that observes every schedule and dispatch.
+func WithProbe(p Probe) Option {
+	return func(s *Simulator) { s.probe = p }
+}
+
 // Simulator owns the virtual clock and the pending event set.
 // The zero value is not usable; call New.
 type Simulator struct {
 	now     Time
 	seq     uint64
 	stopped bool
+	probe   Probe
 
 	// Pending-event storage. events is the arena; free lists arena slots
 	// ready for reuse; heap is a 4-ary min-heap of arena indices ordered
@@ -74,12 +95,19 @@ type Simulator struct {
 }
 
 // New returns an empty simulator with the clock at zero.
-func New() *Simulator {
-	return &Simulator{parked: make(chan struct{})}
+func New(opts ...Option) *Simulator {
+	s := &Simulator{parked: make(chan struct{})}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
 }
 
 // Now returns the current virtual time.
 func (s *Simulator) Now() Time { return s.now }
+
+// InstalledProbe returns the probe installed with WithProbe, or nil.
+func (s *Simulator) InstalledProbe() Probe { return s.probe }
 
 // Executed reports how many events have been dispatched so far.
 func (s *Simulator) Executed() uint64 { return s.executed }
@@ -101,6 +129,9 @@ func (s *Simulator) Schedule(d Duration, fn func()) {
 func (s *Simulator) At(t Time, fn func()) {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, s.now))
+	}
+	if s.probe != nil {
+		s.probe.EventScheduled(s.now, t)
 	}
 	var idx int32
 	if n := len(s.free); n > 0 {
@@ -206,6 +237,9 @@ func (s *Simulator) RunUntil(deadline Time) Time {
 		at, fn := s.pop()
 		s.now = at
 		s.executed++
+		if s.probe != nil {
+			s.probe.EventDispatched(at)
+		}
 		fn()
 	}
 	if s.now < deadline && deadline != maxTime {
@@ -223,6 +257,9 @@ func (s *Simulator) Step() bool {
 	at, fn := s.pop()
 	s.now = at
 	s.executed++
+	if s.probe != nil {
+		s.probe.EventDispatched(at)
+	}
 	fn()
 	return true
 }

@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"testing"
+
+	"ioatsim/internal/sim"
+)
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Stddev() != 0 {
+		t.Errorf("empty summary not all-zero: n=%d mean=%v min=%v max=%v stddev=%v",
+			s.N(), s.Mean(), s.Min(), s.Max(), s.Stddev())
+	}
+}
+
+func TestSummarySingleObservation(t *testing.T) {
+	var s Summary
+	s.Observe(42.5)
+	if s.N() != 1 {
+		t.Fatalf("n = %d, want 1", s.N())
+	}
+	if s.Mean() != 42.5 || s.Min() != 42.5 || s.Max() != 42.5 {
+		t.Errorf("single sample: mean=%v min=%v max=%v, want all 42.5",
+			s.Mean(), s.Min(), s.Max())
+	}
+	if s.Stddev() != 0 {
+		t.Errorf("single-sample stddev = %v, want 0", s.Stddev())
+	}
+}
+
+func TestSummaryNegativeValues(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{-3, -1, -2} {
+		s.Observe(v)
+	}
+	if s.Min() != -3 || s.Max() != -1 {
+		t.Errorf("min=%v max=%v, want -3 and -1", s.Min(), s.Max())
+	}
+	if s.Mean() != -2 {
+		t.Errorf("mean = %v, want -2", s.Mean())
+	}
+	if s.Stddev() != 1 {
+		t.Errorf("stddev = %v, want 1", s.Stddev())
+	}
+}
+
+func TestTimeWeightedZeroElapsed(t *testing.T) {
+	var g TimeWeighted
+	if g.Mean(0) != 0 {
+		t.Errorf("mean of never-sampled gauge = %v, want 0", g.Mean(0))
+	}
+	g.Set(100, 7)
+	// No time has passed since the first sample: the integral is empty
+	// and the mean must not divide by zero.
+	if got := g.Mean(100); got != 0 {
+		t.Errorf("mean at zero elapsed = %v, want 0", got)
+	}
+	if got := g.Mean(50); got != 0 {
+		t.Errorf("mean before the window start = %v, want 0", got)
+	}
+}
+
+func TestTimeWeightedMean(t *testing.T) {
+	var g TimeWeighted
+	g.Set(0, 1)
+	g.Set(10, 3)
+	// [0,10) at 1, [10,20) at 3 -> mean 2.
+	if got := g.Mean(20); got != 2 {
+		t.Errorf("mean = %v, want 2", got)
+	}
+}
+
+func TestTimeWeightedBackwardsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("backwards sample did not panic")
+		}
+	}()
+	var g TimeWeighted
+	g.Set(sim.Time(100), 1)
+	g.Set(sim.Time(99), 2)
+}
+
+func TestTimeWeightedRepeatedSampleOK(t *testing.T) {
+	var g TimeWeighted
+	g.Set(100, 1)
+	g.Set(100, 2) // same instant is fine: zero-width interval
+	if got := g.Mean(200); got != 2 {
+		t.Errorf("mean = %v, want 2", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.N() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Errorf("empty histogram: n=%d mean=%v q50=%v, want zeros",
+			h.N(), h.Mean(), h.Quantile(0.5))
+	}
+}
+
+func TestHistogramSingleObservation(t *testing.T) {
+	var h Histogram
+	h.Observe(5)
+	if h.N() != 1 || h.Mean() != 5 {
+		t.Fatalf("n=%d mean=%v, want 1 and 5", h.N(), h.Mean())
+	}
+	// 5 lands in the (4,8] bucket; every quantile reports its upper edge.
+	if q := h.Quantile(0.5); q != 8 {
+		t.Errorf("q50 = %v, want bucket upper edge 8", q)
+	}
+	if q := h.Quantile(1); q != 8 {
+		t.Errorf("q100 = %v, want 8", q)
+	}
+}
+
+func TestHistogramSubUnitSample(t *testing.T) {
+	var h Histogram
+	h.Observe(0.25)
+	if q := h.Quantile(1); q != 1 {
+		t.Errorf("quantile of sub-unit sample = %v, want bucket edge 1", q)
+	}
+}
+
+func TestHistogramNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative histogram sample did not panic")
+		}
+	}()
+	var h Histogram
+	h.Observe(-1)
+}
+
+func TestCounterNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative counter increment did not panic")
+		}
+	}()
+	var c Counter
+	c.Add(-1)
+}

@@ -87,7 +87,9 @@ type TimeWeighted struct {
 	start    sim.Time
 }
 
-// Set records the value v as of time now.
+// Set records the value v as of time now. Samples must arrive in
+// non-decreasing time order: a piecewise-constant integral cannot be
+// amended retroactively, so a backwards sample is a caller bug.
 func (g *TimeWeighted) Set(now sim.Time, v float64) {
 	if !g.started {
 		g.started = true
@@ -95,6 +97,10 @@ func (g *TimeWeighted) Set(now sim.Time, v float64) {
 		g.since = now
 		g.value = v
 		return
+	}
+	if now < g.since {
+		panic(fmt.Sprintf("stats: time-weighted gauge sampled backwards (%v after %v)",
+			now, g.since))
 	}
 	g.integral += g.value * float64(now-g.since)
 	g.since = now

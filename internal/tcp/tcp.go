@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"time"
 
+	"ioatsim/internal/check"
 	"ioatsim/internal/cost"
 	"ioatsim/internal/cpu"
 	"ioatsim/internal/dma"
@@ -47,6 +48,8 @@ type Stack struct {
 	// Stats.
 	BytesSent     int64
 	BytesReceived int64
+
+	chk *check.Checker
 }
 
 // NewStack wires a transport onto the node's NIC and installs the receive
@@ -57,6 +60,7 @@ func NewStack(s *sim.Simulator, p *cost.Params, c *cpu.CPU, m *mem.Model,
 		S: s, P: p, CPU: c, Mem: m, DMA: e, NIC: n, Feat: feat, Name: name,
 		listeners: make(map[string]*Listener),
 		txPool:    mem.NewPool(m.Space, p.ChunkMax),
+		chk:       check.Enabled(s),
 	}
 	n.OnReceive = st.onReceive
 	return st
@@ -238,6 +242,12 @@ func (c *Conn) SendOpts(p *sim.Proc, src mem.Buffer, n int, opts SendOptions) {
 		st.CPU.Exec(p, work)
 
 		c.inflight += chunk
+		if st.chk != nil {
+			st.chk.Assert(chunk > 0 && c.inflight <= c.window,
+				"tcp", "%s sent %d-byte chunk, inflight %d over window %d",
+				st.Name, chunk, c.inflight, c.window)
+			st.chk.Ledger("tcp:stream").In(int64(chunk))
+		}
 		st.BytesSent += int64(chunk)
 		lc := &link.Chunk{
 			Bytes:     chunk,
@@ -264,6 +274,13 @@ func (st *Stack) onReceive(rx *nic.RxChunk) {
 	}
 	c.rxq = append(c.rxq, pd)
 	c.rxAvail += rx.Chunk.Bytes
+	if st.chk != nil {
+		// The stream ledger closes here: every byte the receiver queues
+		// was sent exactly once. A duplicate or fabricated chunk trips
+		// the conservation law immediately.
+		st.chk.Ledger("tcp:stream").Out(int64(rx.Chunk.Bytes))
+		st.chk.Assert(c.rxAvail >= 0, "tcp", "%s negative receive backlog %d", st.Name, c.rxAvail)
+	}
 	st.BytesReceived += int64(rx.Chunk.Bytes)
 	if w := c.rxWaiter; w != nil {
 		c.rxWaiter = nil
@@ -336,6 +353,12 @@ func (c *Conn) Recv(p *sim.Proc, dst mem.Buffer, n int) {
 		pd.off += m
 		c.rxAvail -= m
 		need -= m
+		if st.chk != nil {
+			st.chk.Assert(pd.off <= pd.rx.Chunk.Bytes,
+				"tcp", "%s consumed %d bytes of a %d-byte chunk", st.Name, pd.off, pd.rx.Chunk.Bytes)
+			st.chk.Assert(c.rxAvail >= 0,
+				"tcp", "%s receive backlog went negative (%d)", st.Name, c.rxAvail)
+		}
 		off = (off + m) % max(dst.Size, 1)
 		if pd.remaining() == 0 {
 			c.rxq = c.rxq[1:]
@@ -403,4 +426,3 @@ func (c *Conn) credit(m int) {
 
 // Available reports how many received bytes are queued and unconsumed.
 func (c *Conn) Available() int { return c.rxAvail }
-

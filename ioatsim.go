@@ -109,13 +109,23 @@ type Cluster = host.Cluster
 // Buffer is a user allocation in a node's simulated memory.
 type Buffer = mem.Buffer
 
+// ClusterOption configures a cluster under construction.
+type ClusterOption = host.Option
+
+// WithCheck installs the runtime invariant checker on the cluster: the
+// run is audited for byte conservation, event causality and cache
+// structure, and Cluster.Verify reports the verdict at the end.
+func WithCheck() ClusterOption { return host.WithCheck() }
+
 // NewCluster returns an empty cluster with a deterministic RNG.
-func NewCluster(p *Params, seed uint64) *Cluster { return host.NewCluster(p, seed) }
+func NewCluster(p *Params, seed uint64, opts ...ClusterOption) *Cluster {
+	return host.NewCluster(p, seed, opts...)
+}
 
 // Testbed1 builds the paper's two-node, six-port micro-benchmark
 // testbed with the given feature set on both nodes.
-func Testbed1(p *Params, feat Features, seed uint64) (*Cluster, *Node, *Node) {
-	return host.Testbed1(p, feat, seed)
+func Testbed1(p *Params, feat Features, seed uint64, opts ...ClusterOption) (*Cluster, *Node, *Node) {
+	return host.Testbed1(p, feat, seed, opts...)
 }
 
 // ---- transport ----
