@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race golden fuzz-smoke bench-smoke bench sim-bench clean
+.PHONY: all build vet test race golden fuzz-smoke bench-smoke bench sim-bench profile clean
 
 all: build vet test
 
@@ -33,14 +33,24 @@ fuzz-smoke:
 bench-smoke: build
 	$(GO) run ./cmd/ioatbench -scale 0.05 -parallel 0
 
-# Full benchmark run: sequential vs parallel wall-clock, BENCH_PR1.json.
+# Full benchmark run: sequential wall-clock + events/sec, BENCH_PR3.json.
 bench:
 	./scripts/bench.sh
 
-# Event-core microbenchmarks; allocs/op must be 0 on the steady path.
+# Hot-path microbenchmarks: event core, cache model, end-to-end packet
+# path. allocs/op must be 0 on every steady-state path.
 sim-bench:
 	$(GO) test -bench='BenchmarkSchedule|BenchmarkRunHotLoop' -benchmem -run='^$$' ./internal/sim/
+	$(GO) test -bench='BenchmarkAccessRange|BenchmarkAccessLines|BenchmarkInvalidate' -benchmem -run='^$$' ./internal/mem/
+	$(GO) test -bench='BenchmarkSteadyStatePacketPath' -benchmem -run='^$$' ./internal/tcp/
+
+# CPU + allocation profiles of the heaviest workload (the fig10 app-level
+# sweep) at benchmark scale; inspect with `go tool pprof`.
+profile: build
+	$(GO) run ./cmd/ioatbench -scale 0.25 -parallel 0 -run fig10a,fig10b \
+		-cpuprofile cpu.pprof -memprofile mem.pprof
+	@echo "wrote cpu.pprof and mem.pprof"
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_PR1.json
+	rm -f BENCH_PR1.json BENCH_PR3.json cpu.pprof mem.pprof

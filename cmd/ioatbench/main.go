@@ -21,10 +21,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"ioatsim/internal/bench"
+	"ioatsim/internal/sim"
 	"ioatsim/internal/sweep"
 )
 
@@ -57,6 +60,8 @@ type jsonReport struct {
 	WallSeconds float64      `json:"wall_s"`
 	CPUSeconds  float64      `json:"experiment_s"`
 	Speedup     float64      `json:"speedup"`
+	Events      uint64       `json:"events"`
+	EventsPerS  float64      `json:"events_per_s"`
 }
 
 func main() {
@@ -68,8 +73,39 @@ func main() {
 		parallel = flag.Int("parallel", 0, "concurrent simulation points (0 = one per core, 1 = sequential)")
 		checked  = flag.Bool("check", false, "run under the runtime invariant checker (slower; aborts on violations)")
 		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ioatbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ioatbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ioatbench: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "ioatbench: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	if *list {
 		for _, r := range bench.Experiments() {
@@ -107,12 +143,15 @@ func main() {
 		elapsed time.Duration
 	}
 	start := time.Now()
+	ev0 := sim.GlobalExecuted()
 	results := sweep.Run(*parallel, len(runners), func(i int) timed {
 		t0 := time.Now()
 		res := runners[i].Run(cfg)
 		return timed{res: res, elapsed: time.Since(t0)}
 	})
 	wall := time.Since(start)
+	events := sim.GlobalExecuted() - ev0
+	eventsPerS := float64(events) / wall.Seconds()
 
 	var cum time.Duration
 	for _, r := range results {
@@ -132,6 +171,8 @@ func main() {
 			WallSeconds: wall.Seconds(),
 			CPUSeconds:  cum.Seconds(),
 			Speedup:     speedup,
+			Events:      events,
+			EventsPerS:  eventsPerS,
 		}
 		for _, r := range results {
 			s := r.res.Series
@@ -167,4 +208,5 @@ func main() {
 	}
 	fmt.Printf("total: %d experiments, %.1fs of experiment time in %.1fs wall (%.1fx, %d workers)\n",
 		len(results), cum.Seconds(), wall.Seconds(), speedup, sweep.Workers(*parallel))
+	fmt.Printf("events: %d dispatched, %.2fM events/s\n", events, eventsPerS/1e6)
 }

@@ -7,7 +7,10 @@
 // other figures are left to emerge from the model.
 package cost
 
-import "time"
+import (
+	"fmt"
+	"time"
+)
 
 // Byte-size units.
 const (
@@ -184,6 +187,88 @@ func Default() *Params {
 		PortRateBps: 1000 * 1000 * 1000,
 		PropDelay:   2 * time.Microsecond,
 	}
+}
+
+// Validate rejects parameter sets whose geometry would make a component
+// misbehave far from the mistake: a non-positive RxBufSize sends the NIC's
+// buffer sizing into an infinite doubling loop, a zero CoalesceFrames
+// divides by zero deep in interrupt pricing, a bad cache geometry panics
+// inside mem.NewCache with no hint of which experiment supplied it.
+// Runners call it once at cluster construction so a bad sweep point fails
+// immediately, by name.
+func (p *Params) Validate() error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("cost: invalid params: "+format, args...)
+	}
+	if p.Cores <= 0 {
+		return fail("Cores = %d, need at least one core", p.Cores)
+	}
+	if p.CacheSize <= 0 || p.CacheLine <= 0 || p.CacheWays <= 0 {
+		return fail("cache geometry %d bytes / %d-byte lines / %d ways must be positive",
+			p.CacheSize, p.CacheLine, p.CacheWays)
+	}
+	if p.CacheLine&(p.CacheLine-1) != 0 {
+		return fail("CacheLine = %d, must be a power of two", p.CacheLine)
+	}
+	nsets := p.CacheSize / (p.CacheLine * p.CacheWays)
+	if nsets == 0 || nsets&(nsets-1) != 0 {
+		return fail("cache of %d bytes with %d-byte lines and %d ways yields %d sets, need a power of two",
+			p.CacheSize, p.CacheLine, p.CacheWays, nsets)
+	}
+	if p.PageSize <= 0 {
+		return fail("PageSize = %d, must be positive", p.PageSize)
+	}
+	if p.MTU <= 52 {
+		return fail("MTU = %d leaves no payload after 52 header bytes", p.MTU)
+	}
+	if p.RxBufSize <= 0 {
+		return fail("RxBufSize = %d, must be positive (buffer sizing doubles it up to one frame)",
+			p.RxBufSize)
+	}
+	if p.CoalesceFrames <= 0 {
+		return fail("CoalesceFrames = %d, must cover at least one frame per interrupt",
+			p.CoalesceFrames)
+	}
+	if p.HeaderBytes < 0 || p.HeaderLines < 0 || p.ConnStateLines < 0 {
+		return fail("negative header geometry (HeaderBytes %d, HeaderLines %d, ConnStateLines %d)",
+			p.HeaderBytes, p.HeaderLines, p.ConnStateLines)
+	}
+	if slot := p.HeaderLines * p.CacheLine; p.HeaderRingBytes < slot {
+		return fail("HeaderRingBytes = %d cannot hold one %d-byte split-header slot",
+			p.HeaderRingBytes, slot)
+	}
+	if p.SockBuf <= 0 {
+		return fail("SockBuf = %d, must be positive", p.SockBuf)
+	}
+	if p.ChunkMax <= 0 {
+		return fail("ChunkMax = %d, must be positive", p.ChunkMax)
+	}
+	if p.PortRateBps <= 0 {
+		return fail("PortRateBps = %d, must be positive", p.PortRateBps)
+	}
+	if p.DMABytesPerSec <= 0 {
+		return fail("DMABytesPerSec = %d, must be positive", p.DMABytesPerSec)
+	}
+	for _, d := range []struct {
+		name string
+		v    time.Duration
+	}{
+		{"ContextSwitch", p.ContextSwitch}, {"CSIndirect", p.CSIndirect},
+		{"Syscall", p.Syscall}, {"StreamHit", p.StreamHit},
+		{"StreamMiss", p.StreamMiss}, {"RandHit", p.RandHit},
+		{"RandMiss", p.RandMiss}, {"DMAStartup", p.DMAStartup},
+		{"DMAPerPage", p.DMAPerPage}, {"PinPerPage", p.PinPerPage},
+		{"DMAFrameSubmit", p.DMAFrameSubmit}, {"Intr", p.Intr},
+		{"FrameProc", p.FrameProc}, {"BufMgmt", p.BufMgmt},
+		{"AckProc", p.AckProc}, {"TxFrame", p.TxFrame},
+		{"TSOFrame", p.TSOFrame}, {"TxCompleteFrame", p.TxCompleteFrame},
+		{"EvictPenalty", p.EvictPenalty}, {"PropDelay", p.PropDelay},
+	} {
+		if d.v < 0 {
+			return fail("%s = %v, costs cannot be negative", d.name, d.v)
+		}
+	}
+	return nil
 }
 
 // Clone returns a copy that experiments may mutate independently.

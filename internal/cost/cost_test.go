@@ -124,3 +124,62 @@ func TestDMACrossoverCalibration(t *testing.T) {
 			dmaTotal(16*KB), cpuNocache(16*KB))
 	}
 }
+
+func TestValidateAcceptsDefault(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default params rejected: %v", err)
+	}
+	// The sweep-style variations experiments actually use must pass too.
+	for _, mutate := range []func(*Params){
+		func(p *Params) { p.MTU = 9000 },
+		func(p *Params) { p.TSO = true },
+		func(p *Params) { p.CoalesceFrames = 64 },
+		func(p *Params) { p.SockBuf = 16 * KB },
+		func(p *Params) { p.Cores = 1 },
+		func(p *Params) { p.CacheWays = 1 },
+	} {
+		p := Default()
+		mutate(p)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("plausible sweep point rejected: %v", err)
+		}
+	}
+}
+
+func TestValidateRejectsBadGeometry(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"zero cores", func(p *Params) { p.Cores = 0 }},
+		{"negative cores", func(p *Params) { p.Cores = -2 }},
+		{"zero cache size", func(p *Params) { p.CacheSize = 0 }},
+		{"zero cache line", func(p *Params) { p.CacheLine = 0 }},
+		{"non-power-of-two line", func(p *Params) { p.CacheLine = 96 }},
+		{"zero ways", func(p *Params) { p.CacheWays = 0 }},
+		{"non-power-of-two sets", func(p *Params) { p.CacheSize = 3 * MB / 2 }},
+		{"cache smaller than one set", func(p *Params) { p.CacheSize = 16 }},
+		{"zero page size", func(p *Params) { p.PageSize = 0 }},
+		{"mtu below headers", func(p *Params) { p.MTU = 52 }},
+		{"zero rx buf", func(p *Params) { p.RxBufSize = 0 }},
+		{"negative rx buf", func(p *Params) { p.RxBufSize = -1 }},
+		{"zero coalesce", func(p *Params) { p.CoalesceFrames = 0 }},
+		{"negative header bytes", func(p *Params) { p.HeaderBytes = -1 }},
+		{"header ring below one slot", func(p *Params) { p.HeaderRingBytes = 1 }},
+		{"zero sockbuf", func(p *Params) { p.SockBuf = 0 }},
+		{"zero chunk max", func(p *Params) { p.ChunkMax = 0 }},
+		{"zero port rate", func(p *Params) { p.PortRateBps = 0 }},
+		{"zero dma rate", func(p *Params) { p.DMABytesPerSec = 0 }},
+		{"negative syscall cost", func(p *Params) { p.Syscall = -time.Nanosecond }},
+		{"negative prop delay", func(p *Params) { p.PropDelay = -time.Microsecond }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := Default()
+			tc.mutate(p)
+			if err := p.Validate(); err == nil {
+				t.Fatal("bad geometry accepted")
+			}
+		})
+	}
+}

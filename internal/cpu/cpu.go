@@ -101,6 +101,15 @@ func (c *CPU) SubmitOn(i int, d time.Duration, fn func()) {
 	}
 }
 
+// SubmitOnArg is SubmitOn with a pre-bound completion callback: fn must
+// be long-lived (package-level) and receives arg when the work drains.
+// The softirq path uses it so per-chunk completion costs no closure
+// allocation.
+func (c *CPU) SubmitOnArg(i int, d time.Duration, fn func(any), arg any) {
+	end := c.enqueue(i, d)
+	c.S.AtArg(end, fn, arg)
+}
+
 // Backlog returns how far in the future core i's queue currently extends.
 func (c *CPU) Backlog(i int) time.Duration {
 	now := c.S.Now()

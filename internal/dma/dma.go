@@ -31,7 +31,21 @@ type Engine struct {
 	markAt     sim.Time
 	markBusy   time.Duration
 
+	// Free lists for in-flight transfer records and retired completions,
+	// so a steady-state copy stream allocates nothing per Submit.
+	xferFree []*xfer
+	doneFree []*sim.Completion
+
 	chk *check.Checker
+}
+
+// xfer carries one in-flight transfer between Submit and its completion
+// event, pre-bound so no per-transfer closure is needed.
+type xfer struct {
+	e    *Engine
+	dst  mem.Addr
+	n    int
+	done *sim.Completion
 }
 
 // New returns an idle engine.
@@ -69,14 +83,20 @@ func (e *Engine) Submit(src, dst mem.Addr, n int) *sim.Completion {
 	if n < 0 {
 		panic("dma: negative transfer")
 	}
-	done := e.S.NewCompletion()
+	var done *sim.Completion
+	if k := len(e.doneFree); k > 0 {
+		done = e.doneFree[k-1]
+		e.doneFree = e.doneFree[:k-1]
+	} else {
+		done = e.S.NewCompletion()
+	}
 	now := e.S.Now()
 	start := e.nextFree
 	if start < now {
 		start = now
 	}
-	xfer := e.TransferTime(n)
-	end := start.Add(xfer)
+	ser := e.TransferTime(n)
+	end := start.Add(ser)
 	if e.chk != nil {
 		e.auditDescriptors(src, n)
 		e.chk.Assert(end >= e.nextFree && end >= now,
@@ -84,19 +104,43 @@ func (e *Engine) Submit(src, dst mem.Addr, n int) *sim.Completion {
 		e.chk.Ledger("dma:bytes").In(int64(n))
 	}
 	e.nextFree = end
-	e.busy += xfer
-	e.S.At(end, func() {
-		e.Transfers++
-		e.BytesMoved += int64(n)
-		if e.chk != nil {
-			e.chk.Ledger("dma:bytes").Out(int64(n))
-		}
-		if e.Mem != nil {
-			e.Mem.DMAWrite(dst, n)
-		}
-		done.Complete()
-	})
+	e.busy += ser
+	var x *xfer
+	if k := len(e.xferFree); k > 0 {
+		x = e.xferFree[k-1]
+		e.xferFree = e.xferFree[:k-1]
+	} else {
+		x = &xfer{e: e}
+	}
+	x.dst, x.n, x.done = dst, n, done
+	e.S.AtArg(end, xferDone, x)
 	return done
+}
+
+// xferDone is the pre-bound transfer-completion event.
+func xferDone(a any) {
+	x := a.(*xfer)
+	e := x.e
+	e.Transfers++
+	e.BytesMoved += int64(x.n)
+	if e.chk != nil {
+		e.chk.Ledger("dma:bytes").Out(int64(x.n))
+	}
+	if e.Mem != nil {
+		e.Mem.DMAWrite(x.dst, x.n)
+	}
+	done := x.done
+	x.done = nil
+	e.xferFree = append(e.xferFree, x)
+	done.Complete()
+}
+
+// Recycle returns a fired completion handed out by Submit to the engine's
+// pool. Callers may recycle only after the completion has fired and its
+// waiter (if any) has resumed — i.e. after Wait has returned.
+func (e *Engine) Recycle(done *sim.Completion) {
+	done.Reset()
+	e.doneFree = append(e.doneFree, done)
 }
 
 // auditDescriptors walks the descriptor chain the engine would program

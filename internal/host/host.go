@@ -85,8 +85,14 @@ func WithCheck() Option {
 	return func(c *Cluster) { c.Check = check.New() }
 }
 
-// NewCluster returns an empty cluster with a deterministic RNG.
+// NewCluster returns an empty cluster with a deterministic RNG. The
+// parameter set is validated up front so a bad sweep point fails here,
+// naming the offending field, instead of misbehaving inside a device
+// model.
 func NewCluster(p *cost.Params, seed uint64, opts ...Option) *Cluster {
+	if err := p.Validate(); err != nil {
+		panic("host: " + err.Error())
+	}
 	c := &Cluster{
 		P: p, Rand: rng.New(seed),
 		byName: make(map[string]*Node),

@@ -22,6 +22,47 @@ type Chunk struct {
 	WireBytes int
 	// Meta carries transport-layer context opaquely through the fabric.
 	Meta any
+
+	// pool, when non-nil, is where Release returns the chunk; src and
+	// dst carry the in-flight endpoints between Send and its delivery
+	// event, so delivery needs no per-chunk closure.
+	pool *ChunkPool
+	src  *Port
+	dst  *Port
+}
+
+// ChunkPool recycles Chunks through a free list so a steady-state flow
+// allocates no chunk per send. A transport owns one pool per stack; the
+// receive path calls Release when the payload's kernel buffers are
+// freed, which returns the chunk to the pool it came from (chunks cross
+// nodes, so the consumer and producer differ).
+type ChunkPool struct {
+	free []*Chunk
+}
+
+// NewChunkPool returns an empty pool.
+func NewChunkPool() *ChunkPool { return &ChunkPool{} }
+
+// Get returns a zeroed chunk backed by this pool.
+func (cp *ChunkPool) Get() *Chunk {
+	if n := len(cp.free); n > 0 {
+		c := cp.free[n-1]
+		cp.free = cp.free[:n-1]
+		return c
+	}
+	return &Chunk{pool: cp}
+}
+
+// Release returns the chunk to its origin pool. Chunks built without a
+// pool (struct literals in tests and custom drivers) are left to the
+// garbage collector.
+func (c *Chunk) Release() {
+	cp := c.pool
+	if cp == nil {
+		return
+	}
+	*c = Chunk{pool: cp}
+	cp.free = append(cp.free, c)
 }
 
 // Port is one full-duplex Ethernet port. The transmit and receive
@@ -99,18 +140,27 @@ func (p *Port) Send(dst *Port, c *Chunk) {
 	}
 	dst.rxFree = deliverAt
 
-	p.S.At(deliverAt, func() {
-		dst.RxBytes += int64(c.Bytes)
-		dst.RxWireBytes += int64(c.WireBytes)
-		if p.chk != nil {
-			p.chk.Ledger("link:payload").Out(int64(c.Bytes))
-			p.chk.Ledger("link:wire").Out(int64(c.WireBytes))
-		}
-		if dst.Deliver == nil {
-			panic("link: chunk delivered to port with no NIC attached")
-		}
-		dst.Deliver(c)
-	})
+	c.src, c.dst = p, dst
+	p.S.AtArg(deliverAt, deliverChunk, c)
+}
+
+// deliverChunk is the pre-bound delivery event: the chunk itself carries
+// its endpoints, so the steady-state fabric path schedules without a
+// per-chunk closure.
+func deliverChunk(a any) {
+	c := a.(*Chunk)
+	p, dst := c.src, c.dst
+	c.src, c.dst = nil, nil
+	dst.RxBytes += int64(c.Bytes)
+	dst.RxWireBytes += int64(c.WireBytes)
+	if p.chk != nil {
+		p.chk.Ledger("link:payload").Out(int64(c.Bytes))
+		p.chk.Ledger("link:wire").Out(int64(c.WireBytes))
+	}
+	if dst.Deliver == nil {
+		panic("link: chunk delivered to port with no NIC attached")
+	}
+	dst.Deliver(c)
 }
 
 // TxBacklog reports how far in the future the transmit side is committed.

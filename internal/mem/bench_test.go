@@ -1,0 +1,100 @@
+package mem
+
+import "testing"
+
+// benchCache builds the default Testbed-1 geometry: 2 MB, 64 B lines,
+// 8-way (4096 sets).
+func benchCache() *Cache { return NewCache(2<<20, 64, 8) }
+
+// BenchmarkAccessRange covers the bulk-copy pricing path in its three
+// characteristic regimes: hit-heavy (working set resident), miss-heavy
+// (streaming through a buffer far larger than the cache), and
+// wrap-around (a range whose line count exceeds the set count, so the
+// set cursor wraps within one call).
+func BenchmarkAccessRange(b *testing.B) {
+	const chunk = 64 << 10 // one socket-buffer chunk
+	b.Run("hit", func(b *testing.B) {
+		c := benchCache()
+		c.AccessRange(0, chunk) // warm: every later pass hits
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.AccessRange(0, chunk)
+		}
+		b.SetBytes(chunk)
+	})
+	b.Run("miss", func(b *testing.B) {
+		c := benchCache()
+		span := Addr(8 << 20) // 4x the cache: each pass evicts the last
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.AccessRange(Addr(i)%span*chunk, chunk)
+		}
+		b.SetBytes(chunk)
+	})
+	b.Run("wrap", func(b *testing.B) {
+		c := benchCache()
+		big := c.Size() + c.Size()/2 // 1.5x capacity: wraps the set cursor
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.AccessRange(0, big)
+		}
+		b.SetBytes(int64(big))
+	})
+}
+
+// BenchmarkAccessLines covers the dependent single-line pattern of
+// protocol-header, connection-state and application working-set reads
+// (the datacenter figures' hot loop), at a ~75% hit rate.
+func BenchmarkAccessLines(b *testing.B) {
+	c := benchCache()
+	ws := 1536 << 10 // the datacenter tier working set
+	lines := ws / c.LineSize()
+	c.AccessRange(0, ws)
+	rnd := uint64(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rnd = rnd*6364136223846793005 + 1442695040888963407
+		line := int(rnd>>33) % lines
+		c.AccessLines(Addr(line*c.LineSize()), 1)
+	}
+}
+
+// BenchmarkInvalidate covers the DMA-write coherence path: per-frame
+// payload invalidation (resident and absent lines) and a wrap-around
+// range.
+func BenchmarkInvalidate(b *testing.B) {
+	const frame = 1500
+	b.Run("resident", func(b *testing.B) {
+		c := benchCache()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.AccessRange(0, frame) // re-install, then drop
+			c.Invalidate(0, frame)
+		}
+		b.SetBytes(frame)
+	})
+	b.Run("absent", func(b *testing.B) {
+		c := benchCache()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Invalidate(Addr(i%1024)*frame, frame)
+		}
+		b.SetBytes(frame)
+	})
+	b.Run("wrap", func(b *testing.B) {
+		c := benchCache()
+		big := c.Size() + c.Size()/2
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Invalidate(0, big)
+		}
+		b.SetBytes(int64(big))
+	})
+}

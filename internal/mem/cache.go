@@ -1,27 +1,41 @@
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Cache is a set-associative LRU cache with write-allocate semantics,
 // indexed by synthetic physical address. It tracks only presence, not
 // data; the cost model turns hit/miss outcomes into time.
+//
+// Line state is stored structure-of-arrays per set: each set owns one
+// contiguous block of 2*ways words — its tag array followed by its LRU
+// stamp array — so a lookup touches two adjacent simulator cache lines
+// instead of two lines half the structure apart (the layout an AoS
+// []struct{tag, last} or two whole-cache arrays would force). Every bulk
+// operation walks consecutive cache lines, which map to consecutive
+// sets, so the walkers advance a set-base cursor (one add + wrap per
+// line) instead of re-deriving set*stride from the address, and
+// accumulate the LRU tick in a register, writing it back once per call.
+// Outcomes — hit/miss sequences, LRU stamps, eviction choices — are
+// bit-identical to the per-line AoS form.
 type Cache struct {
 	lineSize int
 	ways     int
 	nsets    int
+	stride   int  // 2*ways: words of state per set
 	shift    uint // log2(lineSize)
 	mask     uint64
 
-	lines []cacheLine // nsets * ways
+	// state holds per-set blocks: state[set*stride : set*stride+ways] are
+	// the tags (line address + 1; 0 = invalid), the next ways words the
+	// parallel LRU stamps.
+	state []uint64
 	tick  uint64
 
 	Hits   uint64
 	Misses uint64
-}
-
-type cacheLine struct {
-	tag  uint64 // line address + 1 (0 = invalid)
-	last uint64 // LRU timestamp
 }
 
 // NewCache returns a cache of the given total size, line size and
@@ -46,9 +60,10 @@ func NewCache(size, lineSize, ways int) *Cache {
 		lineSize: lineSize,
 		ways:     ways,
 		nsets:    nsets,
+		stride:   2 * ways,
 		shift:    shift,
 		mask:     uint64(nsets - 1),
-		lines:    make([]cacheLine, nsets*ways),
+		state:    make([]uint64, nsets*2*ways),
 	}
 }
 
@@ -58,28 +73,107 @@ func (c *Cache) LineSize() int { return c.lineSize }
 // Size returns the total capacity in bytes.
 func (c *Cache) Size() int { return c.nsets * c.ways * c.lineSize }
 
+// touch references the line with the given tag in the set whose state
+// block starts at base, allocating it (with LRU eviction) on miss,
+// stamping it with tick, and reports whether it hit. The tag scan runs
+// before any victim tracking: a hit never pays for LRU bookkeeping, and
+// a miss scans all ways anyway, so the split is outcome-identical to a
+// merged scan (the victim is the lowest-indexed way with the minimal
+// stamp either way).
+func (c *Cache) touch(base int, tag, tick uint64) bool {
+	if c.ways == 8 {
+		// Constant-width fast path for the default 8-way geometry: one
+		// 16-word view of the set block lets the compiler drop per-way
+		// bounds checks, and tags+stamps share two adjacent lines. The
+		// match scan is branchless — the hit way lands at a random
+		// position, so an early-exit loop mispredicts nearly every
+		// lookup; building a match bitmask costs eight flag-sets but
+		// only one (well-predicted) hit/miss branch.
+		st := (*[16]uint64)(c.state[base:])
+		m := uint(0)
+		if st[0] == tag {
+			m |= 1 << 0
+		}
+		if st[1] == tag {
+			m |= 1 << 1
+		}
+		if st[2] == tag {
+			m |= 1 << 2
+		}
+		if st[3] == tag {
+			m |= 1 << 3
+		}
+		if st[4] == tag {
+			m |= 1 << 4
+		}
+		if st[5] == tag {
+			m |= 1 << 5
+		}
+		if st[6] == tag {
+			m |= 1 << 6
+		}
+		if st[7] == tag {
+			m |= 1 << 7
+		}
+		if m != 0 {
+			st[8+bits.TrailingZeros(m)] = tick
+			return true
+		}
+		victim, oldest := 0, st[8]
+		for w := 1; w < 8; w++ {
+			if st[8+w] < oldest {
+				oldest = st[8+w]
+				victim = w
+			}
+		}
+		st[victim] = tag
+		st[8+victim] = tick
+		return false
+	}
+	ways := c.ways
+	tags := c.state[base : base+ways]
+	last := c.state[base+ways : base+2*ways]
+	for w := range tags {
+		if tags[w] == tag {
+			last[w] = tick
+			return true
+		}
+	}
+	victim, oldest := 0, last[0]
+	for w := 1; w < len(last); w++ {
+		if last[w] < oldest {
+			oldest = last[w]
+			victim = w
+		}
+	}
+	tags[victim] = tag
+	last[victim] = tick
+	return false
+}
+
 // Access touches the line containing addr, allocating it on miss, and
 // reports whether it was a hit.
 func (c *Cache) Access(addr Addr) bool {
 	line := uint64(addr) >> c.shift
-	set := int(line & c.mask)
-	base := set * c.ways
+	base := int(line&c.mask) * c.stride
 	c.tick++
 	tag := line + 1
-	victim := base
-	oldest := ^uint64(0)
-	for i := base; i < base+c.ways; i++ {
-		if c.lines[i].tag == tag {
-			c.lines[i].last = c.tick
+	if c.ways == 1 {
+		// Direct-mapped: the single way is both the lookup and the victim.
+		hit := c.state[base] == tag
+		c.state[base] = tag
+		c.state[base+1] = c.tick
+		if hit {
 			c.Hits++
-			return true
+		} else {
+			c.Misses++
 		}
-		if c.lines[i].last < oldest {
-			oldest = c.lines[i].last
-			victim = i
-		}
+		return hit
 	}
-	c.lines[victim] = cacheLine{tag: tag, last: c.tick}
+	if c.touch(base, tag, c.tick) {
+		c.Hits++
+		return true
+	}
 	c.Misses++
 	return false
 }
@@ -88,55 +182,84 @@ func (c *Cache) Access(addr Addr) bool {
 // updating LRU state or statistics.
 func (c *Cache) Contains(addr Addr) bool {
 	line := uint64(addr) >> c.shift
-	set := int(line & c.mask)
-	base := set * c.ways
+	base := int(line&c.mask) * c.stride
 	tag := line + 1
-	for i := base; i < base+c.ways; i++ {
-		if c.lines[i].tag == tag {
+	for _, t := range c.state[base : base+c.ways] {
+		if t == tag {
 			return true
 		}
 	}
 	return false
 }
 
+// accessLines touches n consecutive cache lines starting at line number
+// first, allocating on miss, and returns the hit and miss counts. This is
+// the shared core of AccessRange and AccessLines: consecutive lines index
+// consecutive sets, so the walk advances base by one set stride per line
+// (wrapping at the end of the array) and keeps the tick in a register.
+func (c *Cache) accessLines(first uint64, n int) (hits, misses int) {
+	tick := c.tick
+	tag := first + 1
+	base := int(first&c.mask) * c.stride
+	limit := c.nsets * c.stride
+	if c.ways == 1 {
+		st := c.state
+		for i := 0; i < n; i++ {
+			tick++
+			if st[base] == tag {
+				hits++
+			} else {
+				st[base] = tag
+				misses++
+			}
+			st[base+1] = tick
+			tag++
+			base += 2
+			if base == limit {
+				base = 0
+			}
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			tick++
+			if c.touch(base, tag, tick) {
+				hits++
+			} else {
+				misses++
+			}
+			tag++
+			base += c.stride
+			if base == limit {
+				base = 0
+			}
+		}
+	}
+	c.tick = tick
+	c.Hits += uint64(hits)
+	c.Misses += uint64(misses)
+	return hits, misses
+}
+
 // AccessRange touches every line of [addr, addr+n) and returns the hit
 // and miss counts. It is the bulk path under every modeled copy and
-// checksum, so the set scan is inlined per line rather than routed
-// through Access: one pass, set-local slices, no per-line call.
+// checksum.
 func (c *Cache) AccessRange(addr Addr, n int) (hits, misses int) {
 	if n <= 0 {
 		return 0, 0
 	}
 	first := uint64(addr) >> c.shift
 	last := (uint64(addr) + uint64(n) - 1) >> c.shift
-	for l := first; l <= last; l++ {
-		ways := c.lines[int(l&c.mask)*c.ways:][:c.ways]
-		c.tick++
-		tag := l + 1
-		hit := false
-		victim := 0
-		oldest := ^uint64(0)
-		for i := range ways {
-			if ways[i].tag == tag {
-				ways[i].last = c.tick
-				hit = true
-				break
-			}
-			if ways[i].last < oldest {
-				oldest = ways[i].last
-				victim = i
-			}
-		}
-		if hit {
-			c.Hits++
-			hits++
-		} else {
-			ways[victim] = cacheLine{tag: tag, last: c.tick}
-			c.Misses++
-			misses++
-		}
+	return c.accessLines(first, int(last-first+1))
+}
+
+// AccessLines touches nLines consecutive lines starting with the one
+// holding addr — the dependent-access pattern of protocol-header and
+// connection-state reads, priced per line by Model.RandomCost.
+func (c *Cache) AccessLines(addr Addr, nLines int) (hits, misses int) {
+	if nLines <= 0 {
+		return 0, 0
 	}
-	return hits, misses
+	return c.accessLines(uint64(addr)>>c.shift, nLines)
 }
 
 // Install brings every line of [addr, addr+n) into the cache without
@@ -149,68 +272,148 @@ func (c *Cache) Install(addr Addr, n int) (evicted int) {
 		return 0
 	}
 	first := uint64(addr) >> c.shift
-	last := (uint64(addr) + uint64(n) - 1) >> c.shift
-	for l := first; l <= last; l++ {
-		ways := c.lines[int(l&c.mask)*c.ways:][:c.ways]
-		c.tick++
-		tag := l + 1
-		victim := 0
-		oldest := ^uint64(0)
-		found := false
-		for i := range ways {
-			if ways[i].tag == tag {
-				ways[i].last = c.tick
-				found = true
-				break
+	lastLine := (uint64(addr) + uint64(n) - 1) >> c.shift
+	nLines := int(lastLine - first + 1)
+	tick := c.tick
+	tag := first + 1
+	base := int(first&c.mask) * c.stride
+	limit := c.nsets * c.stride
+	if c.ways == 1 {
+		st := c.state
+		for i := 0; i < nLines; i++ {
+			tick++
+			if st[base] != tag {
+				if st[base] != 0 {
+					evicted++
+				}
+				st[base] = tag
 			}
-			if ways[i].last < oldest {
-				oldest = ways[i].last
-				victim = i
+			st[base+1] = tick
+			tag++
+			base += 2
+			if base == limit {
+				base = 0
 			}
 		}
-		if !found {
-			if ways[victim].tag != 0 {
-				evicted++
+	} else {
+		ways := c.ways
+		for i := 0; i < nLines; i++ {
+			tick++
+			tags := c.state[base : base+ways]
+			last := c.state[base+ways : base+2*ways]
+			found := false
+			for w := range tags {
+				if tags[w] == tag {
+					last[w] = tick
+					found = true
+					break
+				}
 			}
-			ways[victim] = cacheLine{tag: tag, last: c.tick}
+			if !found {
+				victim, oldest := 0, last[0]
+				for w := 1; w < len(last); w++ {
+					if last[w] < oldest {
+						oldest = last[w]
+						victim = w
+					}
+				}
+				if tags[victim] != 0 {
+					evicted++
+				}
+				tags[victim] = tag
+				last[victim] = tick
+			}
+			tag++
+			base += c.stride
+			if base == limit {
+				base = 0
+			}
 		}
 	}
+	c.tick = tick
 	return evicted
 }
 
 // Invalidate drops every line of [addr, addr+n) — the coherence action a
-// DMA write forces on the CPU cache (paper §2.2.2).
+// DMA write forces on the CPU cache (paper §2.2.2). The whole run of
+// consecutive sets is walked with one cursor; LRU state and the tick are
+// untouched, as invalidation is not a reference.
 func (c *Cache) Invalidate(addr Addr, n int) {
 	if n <= 0 {
 		return
 	}
 	first := uint64(addr) >> c.shift
-	last := (uint64(addr) + uint64(n) - 1) >> c.shift
-	for l := first; l <= last; l++ {
-		ways := c.lines[int(l&c.mask)*c.ways:][:c.ways]
-		tag := l + 1
-		for i := range ways {
-			if ways[i].tag == tag {
-				ways[i] = cacheLine{}
+	lastLine := (uint64(addr) + uint64(n) - 1) >> c.shift
+	nLines := int(lastLine - first + 1)
+	tag := first + 1
+	base := int(first&c.mask) * c.stride
+	limit := c.nsets * c.stride
+	if c.ways == 1 {
+		st := c.state
+		for i := 0; i < nLines; i++ {
+			if st[base] == tag {
+				st[base] = 0
+				st[base+1] = 0
+			}
+			tag++
+			base += 2
+			if base == limit {
+				base = 0
+			}
+		}
+		return
+	}
+	if c.ways == 8 {
+		for i := 0; i < nLines; i++ {
+			st := (*[16]uint64)(c.state[base:])
+			for w := 0; w < 8; w++ {
+				if st[w] == tag {
+					st[w] = 0
+					st[8+w] = 0
+					break
+				}
+			}
+			tag++
+			base += 16
+			if base == limit {
+				base = 0
+			}
+		}
+		return
+	}
+	ways := c.ways
+	for i := 0; i < nLines; i++ {
+		tags := c.state[base : base+ways]
+		for w := range tags {
+			if tags[w] == tag {
+				tags[w] = 0
+				c.state[base+ways+w] = 0
 				break
 			}
+		}
+		tag++
+		base += c.stride
+		if base == limit {
+			base = 0
 		}
 	}
 }
 
 // Flush empties the cache.
 func (c *Cache) Flush() {
-	for i := range c.lines {
-		c.lines[i] = cacheLine{}
+	for i := range c.state {
+		c.state[i] = 0
 	}
 }
 
 // OccupiedLines returns how many valid lines the cache currently holds.
 func (c *Cache) OccupiedLines() int {
 	count := 0
-	for i := range c.lines {
-		if c.lines[i].tag != 0 {
-			count++
+	for base := 0; base < len(c.state); base += c.stride {
+		for _, t := range c.state[base : base+c.ways] {
+			if t != 0 {
+				count++
+			}
 		}
 	}
 	return count
@@ -230,23 +433,25 @@ func (c *Cache) Audit() error {
 		return fmt.Errorf("mem: cache occupancy %d exceeds capacity %d lines", occ, c.Lines())
 	}
 	for set := 0; set < c.nsets; set++ {
-		ways := c.lines[set*c.ways:][:c.ways]
-		for i := range ways {
-			if ways[i].last > c.tick {
+		base := set * c.stride
+		tags := c.state[base : base+c.ways]
+		last := c.state[base+c.ways : base+2*c.ways]
+		for i := range tags {
+			if last[i] > c.tick {
 				return fmt.Errorf("mem: set %d way %d LRU stamp %d is from the future (tick %d)",
-					set, i, ways[i].last, c.tick)
+					set, i, last[i], c.tick)
 			}
-			if ways[i].tag == 0 {
+			if tags[i] == 0 {
 				continue
 			}
-			if got := int((ways[i].tag - 1) & c.mask); got != set {
+			if got := int((tags[i] - 1) & c.mask); got != set {
 				return fmt.Errorf("mem: set %d way %d holds tag %#x which indexes set %d",
-					set, i, ways[i].tag, got)
+					set, i, tags[i], got)
 			}
-			for j := i + 1; j < len(ways); j++ {
-				if ways[j].tag == ways[i].tag {
+			for j := i + 1; j < len(tags); j++ {
+				if tags[j] == tags[i] {
 					return fmt.Errorf("mem: set %d holds duplicate tag %#x (ways %d and %d)",
-						set, ways[i].tag, i, j)
+						set, tags[i], i, j)
 				}
 			}
 		}

@@ -106,21 +106,16 @@ func (m *Model) TouchCost(addr Addr, n int) time.Duration {
 
 // RandomCost prices dependent accesses to nLines lines starting at addr —
 // the pattern of protocol-header and connection-state reads, where each
-// miss pays the full DRAM latency.
+// miss pays the full DRAM latency. The lines are consecutive, so the
+// cache walks them in one batched pass instead of one Access call each.
 func (m *Model) RandomCost(addr Addr, nLines int) time.Duration {
-	var d time.Duration
-	line := m.P.CacheLine
-	for i := 0; i < nLines; i++ {
-		if m.Cache.Access(addr + Addr(i*line)) {
-			d += m.P.RandHit
-		} else {
-			d += m.P.RandMiss
-		}
-	}
+	h, miss := m.Cache.AccessLines(addr, nLines)
 	if m.chk != nil {
+		m.chk.Assert(h+miss == max(nLines, 0),
+			"mem", "random access of %d lines counted %d hits + %d misses", nLines, h, miss)
 		m.observe()
 	}
-	return d
+	return time.Duration(h)*m.P.RandHit + time.Duration(miss)*m.P.RandMiss
 }
 
 // DMAWrite models a device (NIC or copy engine) writing [addr, addr+n):

@@ -10,6 +10,7 @@
 package nic
 
 import (
+	"fmt"
 	"time"
 
 	"ioatsim/internal/check"
@@ -43,16 +44,25 @@ type RxChunk struct {
 	Port int
 	// ReadyAt is when softirq processing finished.
 	ReadyAt sim.Time
+	// arrived is when the last bit hit the wire-side of the port, kept
+	// for the softirq-ordering invariant.
+	arrived sim.Time
 }
 
-// Free returns the chunk's kernel buffers to the NIC's pool. The receive
-// path calls this when the owning recv call returns (the skbs stay on the
-// socket queue until then, as in the kernel's net_dma).
+// Free returns the chunk's kernel buffers to the NIC's pool and recycles
+// the chunk descriptors. The receive path calls this when the owning recv
+// call returns (the skbs stay on the socket queue until then, as in the
+// kernel's net_dma).
 func (rx *RxChunk) Free() {
+	n := rx.nic
 	for _, b := range rx.Bufs {
-		rx.nic.rxPool.Put(b)
+		n.rxPool.Put(b)
 	}
-	rx.Bufs = nil
+	rx.Bufs = rx.Bufs[:0]
+	rx.Chunk.Release()
+	rx.Chunk = nil
+	rx.Flow = nil
+	n.rxFree = append(n.rxFree, rx)
 }
 
 // NIC is one node's network interface: a set of ports sharing the node's
@@ -68,9 +78,11 @@ type NIC struct {
 
 	Ports []*link.Port
 
-	rxPool  *mem.Pool
-	hdrRing mem.Buffer
-	hdrOff  int
+	rxPool       *mem.Pool
+	hdrRing      mem.Buffer
+	hdrOff       int
+	hdrSlotBytes int        // bytes consumed per split-header ring slot
+	rxFree       []*RxChunk // recycled chunk descriptors (with their Bufs backing)
 
 	// OnReceive is invoked (in event context, after softirq processing)
 	// for every received chunk. The transport installs it.
@@ -92,6 +104,7 @@ func New(s *sim.Simulator, p *cost.Params, c *cpu.CPU, m *mem.Model,
 		chk: check.Enabled(s)}
 	n.rxPool = mem.NewPool(m.Space, rxBufSize(p))
 	n.hdrRing = m.Space.Alloc(p.HeaderRingBytes, 0)
+	n.hdrSlotBytes = p.HeaderLines * p.CacheLine
 	for i := 0; i < nports; i++ {
 		i := i
 		port := link.NewPort(s, node, i, p.PortRateBps, p.PropDelay)
@@ -105,6 +118,12 @@ func New(s *sim.Simulator, p *cost.Params, c *cpu.CPU, m *mem.Model,
 func rxBufSize(p *cost.Params) int {
 	need := p.MSS() + p.HeaderBytes
 	size := p.RxBufSize
+	if size <= 0 {
+		// Doubling a non-positive size would loop forever; Params.Validate
+		// rejects this upstream, so reaching it means a runner skipped
+		// validation.
+		panic(fmt.Sprintf("nic: non-positive RxBufSize %d", size))
+	}
 	for size < need {
 		size *= 2
 	}
@@ -128,12 +147,11 @@ func (n *NIC) RxCore(port int, f Flow) int {
 
 // hdrSlot returns the next split-header ring slot (2 lines per frame).
 func (n *NIC) hdrSlot() mem.Addr {
-	slot := n.P.HeaderLines * n.P.CacheLine
-	if n.hdrOff+slot > n.hdrRing.Size {
+	if n.hdrOff+n.hdrSlotBytes > n.hdrRing.Size {
 		n.hdrOff = 0
 	}
 	a := n.hdrRing.Addr + mem.Addr(n.hdrOff)
-	n.hdrOff += slot
+	n.hdrOff += n.hdrSlotBytes
 	return a
 }
 
@@ -168,10 +186,19 @@ func (n *NIC) deliver(port int, c *link.Chunk) {
 	work += time.Duration(frames) * (p.FrameProc + p.BufMgmt)
 
 	// Buffer placement and header access, frame by frame, through the
-	// cache model.
-	bufs := make([]mem.Buffer, frames)
+	// cache model. The chunk descriptor and its buffer slice come from
+	// the NIC's free list, so a steady-state flow allocates nothing here.
+	var rx *RxChunk
+	if nf := len(n.rxFree); nf > 0 {
+		rx = n.rxFree[nf-1]
+		n.rxFree = n.rxFree[:nf-1]
+	} else {
+		rx = &RxChunk{nic: n}
+	}
+	bufs := rx.Bufs[:0]
 	remaining := c.Bytes
 	mss := p.MSS()
+	stateAddr := flow.StateAddr()
 	for i := 0; i < frames; i++ {
 		payload := mss
 		if payload > remaining {
@@ -179,7 +206,7 @@ func (n *NIC) deliver(port int, c *link.Chunk) {
 		}
 		remaining -= payload
 		b := n.rxPool.Get()
-		bufs[i] = b
+		bufs = append(bufs, b)
 
 		switch {
 		case n.Feat.SplitHeader:
@@ -205,7 +232,7 @@ func (n *NIC) deliver(port int, c *link.Chunk) {
 		}
 
 		// Connection-state accesses for this frame.
-		work += n.Mem.RandomCost(flow.StateAddr(), p.ConnStateLines)
+		work += n.Mem.RandomCost(stateAddr, p.ConnStateLines)
 	}
 
 	if n.chk != nil {
@@ -220,21 +247,27 @@ func (n *NIC) deliver(port int, c *link.Chunk) {
 		n.chk.Ledger("nic:rx-bytes").In(int64(c.Bytes))
 	}
 
-	arrived := n.S.Now()
-	rx := &RxChunk{Chunk: c, Flow: flow, Bufs: bufs, nic: n, Port: port}
-	n.CPU.SubmitOn(n.RxCore(port, flow), work, func() {
-		rx.ReadyAt = n.S.Now()
-		if n.chk != nil {
-			// Softirq completion cannot precede frame arrival.
-			n.chk.Assert(rx.ReadyAt >= arrived,
-				"nic", "chunk ready at %v before arrival at %v", rx.ReadyAt, arrived)
-			n.chk.Ledger("nic:rx-bytes").Out(int64(c.Bytes))
-		}
-		if n.OnReceive == nil {
-			panic("nic: no transport handler installed")
-		}
-		n.OnReceive(rx)
-	})
+	rx.Chunk, rx.Flow, rx.Bufs, rx.Port, rx.arrived = c, flow, bufs, port, n.S.Now()
+	n.CPU.SubmitOnArg(n.RxCore(port, flow), work, rxReady, rx)
+}
+
+// rxReady is the pre-bound softirq-completion event: it fires on the
+// receive core when the chunk's protocol work has drained, and hands the
+// chunk to the transport. Package-level so scheduling it costs no closure.
+func rxReady(a any) {
+	rx := a.(*RxChunk)
+	n := rx.nic
+	rx.ReadyAt = n.S.Now()
+	if n.chk != nil {
+		// Softirq completion cannot precede frame arrival.
+		n.chk.Assert(rx.ReadyAt >= rx.arrived,
+			"nic", "chunk ready at %v before arrival at %v", rx.ReadyAt, rx.arrived)
+		n.chk.Ledger("nic:rx-bytes").Out(int64(rx.Chunk.Bytes))
+	}
+	if n.OnReceive == nil {
+		panic("nic: no transport handler installed")
+	}
+	n.OnReceive(rx)
 }
 
 // TxComplete charges the transmit-completion work (interrupt, descriptor

@@ -58,3 +58,22 @@ func BenchmarkRunHotLoop(b *testing.B) {
 		b.Fatalf("dispatched %d events, want %d", n, b.N)
 	}
 }
+
+// BenchmarkScheduleArg is BenchmarkSchedule through the pre-bound
+// (func(any), arg) form the packet paths use. The argument is a live
+// pointer, so boxing it into the event must not allocate either.
+func BenchmarkScheduleArg(b *testing.B) {
+	s := New()
+	type payload struct{ n int }
+	p := &payload{}
+	fn := func(a any) { a.(*payload).n++ }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ScheduleArg(time.Nanosecond, fn, p)
+		s.Step()
+	}
+	if p.n != b.N {
+		b.Fatalf("dispatched %d arg events, want %d", p.n, b.N)
+	}
+}

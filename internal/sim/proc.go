@@ -42,8 +42,17 @@ func (s *Simulator) SpawnAfter(d Duration, name string, fn func(p *Proc)) *Proc 
 		s.nprocs--
 		s.parked <- struct{}{} // return control to the event loop
 	}()
-	s.Schedule(d, func() { s.runProc(p) })
+	s.ScheduleArg(d, resumeProc, p)
 	return p
+}
+
+// resumeProc is the pre-bound callback behind every process wake-up
+// (Sleep, Wake, Completion, Spawn): scheduling it with the process as
+// the event argument costs no allocation, where a per-event closure
+// over p would.
+func resumeProc(a any) {
+	p := a.(*Proc)
+	p.sim.runProc(p)
 }
 
 // runProc transfers control to p until it parks or finishes. Called only
@@ -72,15 +81,16 @@ func (p *Proc) Park() { p.park() }
 
 // Wake schedules a parked process to resume at the current time.
 func (s *Simulator) Wake(p *Proc) {
-	s.Schedule(0, func() { s.runProc(p) })
+	s.ScheduleArg(0, resumeProc, p)
 }
 
-// Sleep suspends the process for virtual duration d.
+// Sleep suspends the process for virtual duration d. The wake-up event
+// is pre-bound to the process, so sleeping allocates nothing.
 func (p *Proc) Sleep(d Duration) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative sleep %v", d))
 	}
-	p.sim.Schedule(d, func() { p.sim.runProc(p) })
+	p.sim.ScheduleArg(d, resumeProc, p)
 	p.park()
 }
 
@@ -117,8 +127,22 @@ func (c *Completion) Complete() {
 	c.c.done = true
 	if w := c.c.waiter; w != nil {
 		c.c.waiter = nil
-		c.c.sim.Schedule(0, func() { c.c.sim.runProc(w) })
+		c.c.sim.ScheduleArg(0, resumeProc, w)
 	}
+}
+
+// Reset rearms a fired completion for reuse, so pools can recycle
+// completions instead of allocating one per transfer. It panics if the
+// completion has not fired or still has a parked waiter — recycling an
+// in-flight completion would strand its waiter forever.
+func (c *Completion) Reset() {
+	if !c.c.done {
+		panic("sim: reset of an unfired completion")
+	}
+	if c.c.waiter != nil {
+		panic("sim: reset of a completion with a parked waiter")
+	}
+	c.c.done = false
 }
 
 // Wait parks p until Complete is called. Only one process may wait.

@@ -17,8 +17,19 @@ package sim
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 )
+
+// globalExecuted accumulates dispatched-event counts across every
+// simulator in the process, flushed once per Run/RunUntil/Step rather
+// than per event. It feeds throughput reporting (events/sec) in the
+// benchmark drivers; simulation outcomes never depend on it.
+var globalExecuted atomic.Uint64
+
+// GlobalExecuted reports the total events dispatched by all simulators
+// in this process so far.
+func GlobalExecuted() uint64 { return globalExecuted.Load() }
 
 // Time is a virtual timestamp in nanoseconds since the start of the run.
 type Time int64
@@ -42,10 +53,16 @@ func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 func (t Time) Seconds() float64 { return float64(t) / 1e9 }
 
 // event is a single scheduled callback, stored by value in the arena.
+// It carries either a plain closure (fn) or a pre-bound function plus
+// argument (argFn, arg): the steady-state packet paths schedule with the
+// latter so that no per-event closure is allocated — the functions are
+// package-level and the argument is a recycled pointer.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at    Time
+	seq   uint64
+	fn    func()
+	argFn func(any)
+	arg   any
 }
 
 // Probe observes engine activity for debug-mode invariant checking
@@ -90,8 +107,19 @@ type Simulator struct {
 	current *Proc
 	nprocs  int
 
-	// executed counts events dispatched, for diagnostics and tests.
+	// executed counts events dispatched, for diagnostics and tests;
+	// flushed marks how much of it has been added to globalExecuted.
 	executed uint64
+	flushed  uint64
+}
+
+// flushExecuted publishes this simulator's not-yet-reported event count
+// to the process-wide counter.
+func (s *Simulator) flushExecuted() {
+	if d := s.executed - s.flushed; d > 0 {
+		globalExecuted.Add(d)
+		s.flushed = s.executed
+	}
 }
 
 // New returns an empty simulator with the clock at zero.
@@ -127,6 +155,31 @@ func (s *Simulator) Schedule(d Duration, fn func()) {
 // At arranges for fn to run at absolute time t, which must not precede the
 // current time.
 func (s *Simulator) At(t Time, fn func()) {
+	s.push(t, fn, nil, nil)
+}
+
+// ScheduleArg is Schedule for a pre-bound callback: fn must be a
+// package-level (or otherwise long-lived) function, and arg — typically
+// a pooled pointer — is passed to it at dispatch. Unlike a capturing
+// closure, the pair allocates nothing, which keeps the steady-state
+// packet path (wake-ups, deliveries, credits, completions) alloc-free.
+func (s *Simulator) ScheduleArg(d Duration, fn func(any), arg any) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	s.AtArg(s.now.Add(d), fn, arg)
+}
+
+// AtArg is At for a pre-bound callback; see ScheduleArg.
+func (s *Simulator) AtArg(t Time, fn func(any), arg any) {
+	s.push(t, nil, fn, arg)
+}
+
+// push enqueues one event holding either a closure or a pre-bound
+// (argFn, arg) pair. Both forms share the arena, sequence numbering and
+// probe hooks, so scheduling order — and therefore every simulated
+// outcome — is independent of which form a caller uses.
+func (s *Simulator) push(t Time, fn func(), argFn func(any), arg any) {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, s.now))
 	}
@@ -142,7 +195,7 @@ func (s *Simulator) At(t Time, fn func()) {
 		idx = int32(len(s.events) - 1)
 	}
 	s.seq++
-	s.events[idx] = event{at: t, seq: s.seq, fn: fn}
+	s.events[idx] = event{at: t, seq: s.seq, fn: fn, argFn: argFn, arg: arg}
 	s.heap = append(s.heap, idx)
 	s.siftUp(len(s.heap) - 1)
 }
@@ -198,8 +251,9 @@ func (s *Simulator) siftDown() {
 }
 
 // pop removes the earliest event, releases its arena slot, and returns
-// its timestamp and callback. The heap must be non-empty.
-func (s *Simulator) pop() (Time, func()) {
+// its timestamp and callback fields (exactly one of fn and argFn is
+// non-nil). The heap must be non-empty.
+func (s *Simulator) pop() (at Time, fn func(), argFn func(any), arg any) {
 	idx := s.heap[0]
 	n := len(s.heap) - 1
 	s.heap[0] = s.heap[n]
@@ -208,10 +262,11 @@ func (s *Simulator) pop() (Time, func()) {
 		s.siftDown()
 	}
 	e := &s.events[idx]
-	at, fn := e.at, e.fn
-	e.fn = nil // release the closure; the slot is dead until reused
+	at, fn, argFn, arg = e.at, e.fn, e.argFn, e.arg
+	// Release the callback and argument; the slot is dead until reused.
+	e.fn, e.argFn, e.arg = nil, nil, nil
 	s.free = append(s.free, idx)
-	return at, fn
+	return at, fn, argFn, arg
 }
 
 // Stop makes Run return after the current event completes. Pending events
@@ -229,18 +284,23 @@ func (s *Simulator) Run() Time {
 // beyond the deadline remain pending.
 func (s *Simulator) RunUntil(deadline Time) Time {
 	s.stopped = false
+	defer s.flushExecuted()
 	for len(s.heap) > 0 && !s.stopped {
 		if s.events[s.heap[0]].at > deadline {
 			s.now = deadline
 			return s.now
 		}
-		at, fn := s.pop()
+		at, fn, argFn, arg := s.pop()
 		s.now = at
 		s.executed++
 		if s.probe != nil {
 			s.probe.EventDispatched(at)
 		}
-		fn()
+		if fn != nil {
+			fn()
+		} else {
+			argFn(arg)
+		}
 	}
 	if s.now < deadline && deadline != maxTime {
 		s.now = deadline
@@ -254,12 +314,17 @@ func (s *Simulator) Step() bool {
 	if len(s.heap) == 0 {
 		return false
 	}
-	at, fn := s.pop()
+	at, fn, argFn, arg := s.pop()
 	s.now = at
 	s.executed++
 	if s.probe != nil {
 		s.probe.EventDispatched(at)
 	}
-	fn()
+	if fn != nil {
+		fn()
+	} else {
+		argFn(arg)
+	}
+	s.flushExecuted()
 	return true
 }

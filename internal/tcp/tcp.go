@@ -45,6 +45,12 @@ type Stack struct {
 	txPool    *mem.Pool
 	nextFlow  int
 
+	// Free lists keep the steady-state packet path allocation-free: link
+	// chunks, pending-queue records and credit events are all recycled.
+	chunkPool  *link.ChunkPool
+	pendFree   []*pending
+	creditFree []*creditEv
+
 	// Stats.
 	BytesSent     int64
 	BytesReceived int64
@@ -60,6 +66,7 @@ func NewStack(s *sim.Simulator, p *cost.Params, c *cpu.CPU, m *mem.Model,
 		S: s, P: p, CPU: c, Mem: m, DMA: e, NIC: n, Feat: feat, Name: name,
 		listeners: make(map[string]*Listener),
 		txPool:    mem.NewPool(m.Space, p.ChunkMax),
+		chunkPool: link.NewChunkPool(),
 		chk:       check.Enabled(s),
 	}
 	n.OnReceive = st.onReceive
@@ -116,11 +123,16 @@ type Conn struct {
 	peerPort  int
 	userData  any
 
-	// Receive side.
-	rxq      []*pending
-	rxAvail  int
-	rxWaiter *sim.Proc
-	posted   bool // a recv is posted (enables eager DMA submit)
+	// Receive side. rxq is consumed from rxqHead (a head index instead of
+	// re-slicing keeps the backing array reusable); doneScratch is the
+	// per-recv retired-chunk list, reusable because Recv is never
+	// concurrent on one connection.
+	rxq         []*pending
+	rxqHead     int
+	rxAvail     int
+	rxWaiter    *sim.Proc
+	posted      bool // a recv is posted (enables eager DMA submit)
+	doneScratch []*pending
 
 	// Transmit side (flow control).
 	window    int
@@ -249,12 +261,11 @@ func (c *Conn) SendOpts(p *sim.Proc, src mem.Buffer, n int, opts SendOptions) {
 			st.chk.Ledger("tcp:stream").In(int64(chunk))
 		}
 		st.BytesSent += int64(chunk)
-		lc := &link.Chunk{
-			Bytes:     chunk,
-			Frames:    pm.Frames(chunk),
-			WireBytes: pm.WireBytes(chunk),
-			Meta:      c.peer,
-		}
+		lc := st.chunkPool.Get()
+		lc.Bytes = chunk
+		lc.Frames = pm.Frames(chunk)
+		lc.WireBytes = pm.WireBytes(chunk)
+		lc.Meta = c.peer
 		st.NIC.Port(c.localPort).Send(c.peer.stack.NIC.Port(c.peerPort), lc)
 		st.NIC.TxComplete(c.localPort, c, chunk)
 		sent += chunk
@@ -268,9 +279,22 @@ func (st *Stack) onReceive(rx *nic.RxChunk) {
 	if !ok {
 		panic("tcp: chunk for foreign flow")
 	}
-	pd := &pending{rx: rx}
+	var pd *pending
+	if k := len(st.pendFree); k > 0 {
+		pd = st.pendFree[k-1]
+		st.pendFree = st.pendFree[:k-1]
+		pd.rx = rx
+	} else {
+		pd = &pending{rx: rx}
+	}
 	if st.Feat.DMACopy && c.posted {
 		st.submitDMA(c, pd, nil)
+	}
+	if c.rxqHead > 0 && len(c.rxq) == cap(c.rxq) {
+		// Compact the consumed prefix instead of growing the backing array.
+		k := copy(c.rxq, c.rxq[c.rxqHead:])
+		c.rxq = c.rxq[:k]
+		c.rxqHead = 0
 	}
 	c.rxq = append(c.rxq, pd)
 	c.rxAvail += rx.Chunk.Bytes
@@ -320,7 +344,7 @@ func (c *Conn) Recv(p *sim.Proc, dst mem.Buffer, n int) {
 		st.CPU.Exec(p, time.Duration(pm.Pages(n))*pm.PinPerPage)
 	}
 	c.posted = true
-	var done []*pending
+	done := c.doneScratch[:0]
 	need := n
 	off := 0
 	for need > 0 {
@@ -332,7 +356,7 @@ func (c *Conn) Recv(p *sim.Proc, dst mem.Buffer, n int) {
 			p.Park()
 			st.CPU.Exec(p, st.CPU.WakeCost())
 		}
-		pd := c.rxq[0]
+		pd := c.rxq[c.rxqHead]
 		m := pd.remaining()
 		if m > need {
 			m = need
@@ -361,7 +385,12 @@ func (c *Conn) Recv(p *sim.Proc, dst mem.Buffer, n int) {
 		}
 		off = (off + m) % max(dst.Size, 1)
 		if pd.remaining() == 0 {
-			c.rxq = c.rxq[1:]
+			c.rxq[c.rxqHead] = nil
+			c.rxqHead++
+			if c.rxqHead == len(c.rxq) {
+				c.rxq = c.rxq[:0]
+				c.rxqHead = 0
+			}
 			done = append(done, pd)
 		}
 		c.credit(m)
@@ -369,7 +398,15 @@ func (c *Conn) Recv(p *sim.Proc, dst mem.Buffer, n int) {
 	c.posted = false
 	for _, pd := range done {
 		pd.rx.Free()
+		if pd.dma != nil {
+			// The completion has fired and its waiter resumed (this very
+			// call waited on it), so it is safe to rearm for reuse.
+			st.DMA.Recycle(pd.dma)
+		}
+		*pd = pending{}
+		st.pendFree = append(st.pendFree, pd)
 	}
+	c.doneScratch = done[:0]
 }
 
 // copyCost prices the CPU copy of m bytes from the chunk's kernel buffers
@@ -388,8 +425,14 @@ func (c *Conn) copyCost(pd *pending, m int, dst mem.Buffer, dstOff int) time.Dur
 		if seg > remaining {
 			seg = remaining
 		}
-		if frame >= len(pd.rx.Bufs) {
-			frame = len(pd.rx.Bufs) - 1
+		// Every consumable offset maps inside the chunk's buffer list:
+		// pos < Chunk.Bytes and the NIC allocated ceil(Bytes/MSS) buffers,
+		// so frame = pos/MSS is always in range. A clamp here would paper
+		// over a segmentation bug; fail loudly instead.
+		if st.chk != nil {
+			st.chk.Assert(frame < len(pd.rx.Bufs),
+				"tcp", "%s copy at offset %d of a %d-byte chunk addresses frame %d, chunk has %d buffers",
+				st.Name, pos, pd.rx.Chunk.Bytes, frame, len(pd.rx.Bufs))
 		}
 		src := pd.rx.Bufs[frame].Addr + mem.Addr(frameOff)
 		dOff := 0
@@ -404,24 +447,49 @@ func (c *Conn) copyCost(pd *pending, m int, dst mem.Buffer, dstOff int) time.Dur
 	return total
 }
 
+// creditEv is one in-flight window-credit record, pooled on the receiving
+// stack so the per-chunk ACK path schedules without a closure.
+type creditEv struct {
+	conn *Conn // receiving endpoint; the credit lands on its peer
+	m    int
+	acks int
+}
+
 // credit returns m bytes of window to the sender after the ACK delay and
 // charges the sender's ACK processing (one delayed ACK per two frames).
 func (c *Conn) credit(m int) {
-	peer := c.peer
 	st := c.stack
-	acks := (st.P.Frames(m) + 1) / 2
-	st.S.Schedule(st.P.PropDelay, func() {
-		peer.stack.CPU.Submit(time.Duration(acks)*peer.stack.P.AckProc, nil)
-		peer.inflight -= m
-		if peer.inflight < 0 {
-			panic("tcp: negative inflight")
-		}
-		for len(peer.txWaiters) > 0 && peer.inflight < peer.window {
-			w := peer.txWaiters[0]
-			peer.txWaiters = peer.txWaiters[1:]
-			peer.stack.S.Wake(w)
-		}
-	})
+	var ev *creditEv
+	if k := len(st.creditFree); k > 0 {
+		ev = st.creditFree[k-1]
+		st.creditFree = st.creditFree[:k-1]
+	} else {
+		ev = &creditEv{}
+	}
+	ev.conn, ev.m, ev.acks = c, m, (st.P.Frames(m)+1)/2
+	st.S.ScheduleArg(st.P.PropDelay, applyCredit, ev)
+}
+
+// applyCredit is the pre-bound ACK-arrival event on the sender side.
+func applyCredit(a any) {
+	ev := a.(*creditEv)
+	c := ev.conn
+	peer := c.peer
+	m := ev.m
+	peer.stack.CPU.Submit(time.Duration(ev.acks)*peer.stack.P.AckProc, nil)
+	peer.inflight -= m
+	if peer.inflight < 0 {
+		panic("tcp: negative inflight")
+	}
+	for len(peer.txWaiters) > 0 && peer.inflight < peer.window {
+		w := peer.txWaiters[0]
+		k := copy(peer.txWaiters, peer.txWaiters[1:])
+		peer.txWaiters = peer.txWaiters[:k]
+		peer.stack.S.Wake(w)
+	}
+	st := c.stack
+	ev.conn = nil
+	st.creditFree = append(st.creditFree, ev)
 }
 
 // Available reports how many received bytes are queued and unconsumed.

@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"ioatsim/internal/check"
 	"ioatsim/internal/cost"
 	"ioatsim/internal/cpu"
 	"ioatsim/internal/dma"
@@ -376,5 +377,47 @@ func TestTransferConservationProperty(t *testing.T) {
 	f := func(sizes []uint16, accel bool) bool { return run(sizes, accel) }
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCopyCostEveryConsumeOffset drives the CPU copy path of Recv across
+// a multi-frame chunk at every consume offset: the message arrives as one
+// chunk spanning several frames (the last one partial), and the receiver
+// drains it in recv sizes that together visit every frame index and every
+// frame-boundary crossing. The checked invariant in copyCost (frame index
+// strictly inside the chunk's buffer list — formerly a silent clamp) must
+// hold at each step, and the run's conservation ledgers must balance.
+func TestCopyCostEveryConsumeOffset(t *testing.T) {
+	p := cost.Default()
+	mss := p.MSS()
+	msg := 3*mss + 500 // 4 frames, last one partial
+	for _, step := range []int{1, 7, mss - 1, mss, mss + 1, msg} {
+		chk := check.New()
+		s := sim.New(sim.WithProbe(chk))
+		a := newNode(s, p, ioat.None(), "a", 1)
+		b := newNode(s, p, ioat.None(), "b", 1)
+		ca, cb := Pair(a.st, b.st, 0, 0)
+		src := a.buf(8 * cost.KB)
+		dst := b.buf(8 * cost.KB)
+		var got int
+		s.Spawn("tx", func(pr *sim.Proc) { ca.Send(pr, src, msg) })
+		s.Spawn("rx", func(pr *sim.Proc) {
+			for got < msg {
+				n := step
+				if n > msg-got {
+					n = msg - got
+				}
+				cb.Recv(pr, dst, n)
+				got += n
+			}
+		})
+		s.Run()
+		if got != msg {
+			t.Fatalf("step %d: received %d of %d bytes", step, got, msg)
+		}
+		chk.Finish()
+		if err := chk.Err(); err != nil {
+			t.Fatalf("step %d: invariant violated: %v", step, err)
+		}
 	}
 }
