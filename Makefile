@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race golden fuzz-smoke bench-smoke bench sim-bench profile clean
+.PHONY: all build vet test race golden fuzz-smoke bench-smoke trace-smoke bench sim-bench profile clean
 
 all: build vet test
 
@@ -33,7 +33,18 @@ fuzz-smoke:
 bench-smoke: build
 	$(GO) run ./cmd/ioatbench -scale 0.05 -parallel 0
 
-# Full benchmark run: sequential wall-clock + events/sec, BENCH_PR3.json.
+# A tiny traced+metered run of fig6: the trace JSON and metrics CSV must
+# be non-empty and well-formed, and the export schema tests must pass.
+trace-smoke: build
+	$(GO) run ./cmd/ioatbench -run fig6 -scale 0.05 \
+		-trace trace-smoke.json -metrics trace-smoke.csv -profile-report >/dev/null
+	test -s trace-smoke.json && test -s trace-smoke.csv
+	$(GO) test . -run 'TestTraceSmoke|TestTraceExportSchema'
+	@rm -f trace-smoke.json trace-smoke.csv
+	@echo "trace-smoke OK"
+
+# Full benchmark run: sequential wall-clock + events/sec, writing
+# BENCH_PR<N>.json at the repo root (see scripts/bench.sh).
 bench:
 	./scripts/bench.sh
 
@@ -53,4 +64,4 @@ profile: build
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_PR1.json BENCH_PR3.json cpu.pprof mem.pprof
+	rm -f BENCH_PR*.json cpu.pprof mem.pprof trace-smoke.json trace-smoke.csv

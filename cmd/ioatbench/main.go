@@ -10,6 +10,9 @@
 //	ioatbench -parallel 1        # strictly sequential
 //	ioatbench -check             # audit every run with the invariant checker
 //	ioatbench -json              # machine-readable results on stdout
+//	ioatbench -trace t.json      # record a Chrome/Perfetto trace of the runs
+//	ioatbench -metrics m.csv     # sample time-series metrics (.csv or .json)
+//	ioatbench -profile-report    # print the simulated-CPU self-time profile
 //
 // Every simulation point is independent and deterministic, so -parallel
 // changes wall-clock time only: the tables are byte-identical at any
@@ -20,6 +23,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -27,8 +31,11 @@ import (
 	"time"
 
 	"ioatsim/internal/bench"
+	"ioatsim/internal/host"
+	"ioatsim/internal/metrics"
 	"ioatsim/internal/sim"
 	"ioatsim/internal/sweep"
+	"ioatsim/internal/trace"
 )
 
 // jsonResult is the machine-readable form of one experiment.
@@ -64,6 +71,25 @@ type jsonReport struct {
 	EventsPerS  float64      `json:"events_per_s"`
 }
 
+// writeArtifact creates path and streams one observability export into
+// it, exiting on any error (a truncated trace is worse than no trace).
+func writeArtifact(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ioatbench: %v\n", err)
+		os.Exit(1)
+	}
+	werr := write(f)
+	cerr := f.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		fmt.Fprintf(os.Stderr, "ioatbench: writing %s: %v\n", path, werr)
+		os.Exit(1)
+	}
+}
+
 func main() {
 	var (
 		run      = flag.String("run", "", "comma-separated experiment ids to run (default: all)")
@@ -75,6 +101,12 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+
+		traceOut    = flag.String("trace", "", "write a Chrome trace-event JSON file of the runs (forces -parallel 1)")
+		traceBuf    = flag.Int("trace-buffer", trace.DefaultCapacity, "trace ring capacity in records (oldest dropped on overflow)")
+		metricsOut  = flag.String("metrics", "", "write sampled time-series metrics to this file (.json for JSON, CSV otherwise; forces -parallel 1)")
+		metricsTick = flag.Duration("metrics-interval", metrics.DefaultInterval, "simulated-time sampling interval for -metrics")
+		profReport  = flag.Bool("profile-report", false, "print the simulated-CPU self-time profile after the runs")
 	)
 	flag.Parse()
 
@@ -114,7 +146,27 @@ func main() {
 		return
 	}
 
-	cfg := bench.Config{Seed: *seed, Scale: *scale, Parallel: *parallel, Check: *checked}
+	// Observability sinks. The tracer and metrics registry record from the
+	// running simulation's goroutines, so they require sequential execution
+	// (which also keeps the artifacts deterministic); the profiler is
+	// atomic and composes with any parallelism.
+	var obs host.Observability
+	if *traceOut != "" {
+		obs.Trace = trace.New(*traceBuf)
+	}
+	if *metricsOut != "" {
+		obs.Metrics = metrics.New()
+		obs.MetricsInterval = *metricsTick
+	}
+	if *profReport {
+		obs.Profile = trace.NewProfiler()
+	}
+	if (obs.Trace != nil || obs.Metrics != nil) && *parallel != 1 {
+		fmt.Fprintln(os.Stderr, "ioatbench: -trace/-metrics force -parallel 1")
+		*parallel = 1
+	}
+
+	cfg := bench.Config{Seed: *seed, Scale: *scale, Parallel: *parallel, Check: *checked, Obs: obs}
 	runners := bench.Experiments()
 	if *run != "" {
 		runners = runners[:0:0]
@@ -160,6 +212,25 @@ func main() {
 	speedup := 1.0
 	if wall > 0 {
 		speedup = cum.Seconds() / wall.Seconds()
+	}
+
+	if obs.Trace != nil {
+		writeArtifact(*traceOut, obs.Trace.WriteJSON)
+		fmt.Fprintf(os.Stderr, "ioatbench: trace: %d records (%d dropped) -> %s\n",
+			obs.Trace.Len(), obs.Trace.Dropped(), *traceOut)
+	}
+	if obs.Metrics != nil {
+		writer := obs.Metrics.WriteCSV
+		if strings.HasSuffix(*metricsOut, ".json") {
+			writer = obs.Metrics.WriteJSON
+		}
+		writeArtifact(*metricsOut, writer)
+		fmt.Fprintf(os.Stderr, "ioatbench: metrics: %d rows -> %s\n",
+			len(obs.Metrics.Rows()), *metricsOut)
+	}
+	if obs.Profile != nil {
+		// To stderr so it composes with -json on stdout.
+		fmt.Fprint(os.Stderr, obs.Profile.Report())
 	}
 
 	if *jsonOut {

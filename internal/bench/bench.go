@@ -35,14 +35,25 @@ type Config struct {
 	// on any violation. Tests set it; benchmarks leave it off so the hot
 	// paths stay probe-free.
 	Check bool
+
+	// Obs attaches observability sinks (tracer, profiler, metrics
+	// registry) to every cluster the experiment builds. The tracer and
+	// registry are not goroutine-safe across concurrently-running
+	// simulations, so callers that set them should also set Parallel to 1;
+	// the profiler alone is safe at any parallelism.
+	Obs host.Observability
 }
 
 // hostOpts translates the config into cluster-construction options.
 func (c Config) hostOpts() []host.Option {
+	var opts []host.Option
 	if c.Check {
-		return []host.Option{host.WithCheck()}
+		opts = append(opts, host.WithCheck())
 	}
-	return nil
+	if c.Obs.Enabled() {
+		opts = append(opts, host.WithObservability(c.Obs))
+	}
+	return opts
 }
 
 // DefaultConfig runs paper-sized experiments.

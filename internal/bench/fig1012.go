@@ -19,6 +19,7 @@ func pvfsOptions(cfg Config, feat ioat.Features) pvfs.Options {
 		Feat:  feat,
 		Seed:  cfg.Seed,
 		Check: cfg.Check,
+		Obs:   cfg.Obs,
 		Warm:  cfg.duration(60 * time.Millisecond),
 		Meas:  cfg.duration(240 * time.Millisecond),
 	}

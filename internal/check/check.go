@@ -58,8 +58,12 @@ func New() *Checker {
 // the simulator runs unchecked. Device constructors call this once and
 // keep the pointer.
 func Enabled(s *sim.Simulator) *Checker {
-	c, _ := s.InstalledProbe().(*Checker)
-	return c
+	for _, p := range s.Probes() {
+		if c, ok := p.(*Checker); ok {
+			return c
+		}
+	}
+	return nil
 }
 
 // EventScheduled implements sim.Probe: no event may be scheduled into

@@ -16,6 +16,7 @@ import (
 	"ioatsim/internal/check"
 	"ioatsim/internal/cost"
 	"ioatsim/internal/sim"
+	"ioatsim/internal/trace"
 )
 
 // CPU is one node's set of cores.
@@ -31,6 +32,7 @@ type CPU struct {
 	markCoreBusy []time.Duration
 
 	chk *check.Checker
+	obs *trace.Obs
 }
 
 type core struct {
@@ -51,6 +53,11 @@ func New(s *sim.Simulator, p *cost.Params) *CPU {
 // NumCores returns the number of cores.
 func (c *CPU) NumCores() int { return len(c.cores) }
 
+// SetObs attaches the node's observability sinks. Every core-work span
+// and profiler sample flows through enqueue, so this one pointer covers
+// the whole CPU model.
+func (c *CPU) SetObs(o *trace.Obs) { c.obs = o }
+
 // pick returns the index of the core that will become free soonest.
 func (c *CPU) pick() int {
 	best := 0
@@ -62,8 +69,9 @@ func (c *CPU) pick() int {
 	return best
 }
 
-// enqueue places d of work on core i and returns its completion time.
-func (c *CPU) enqueue(i int, d time.Duration) sim.Time {
+// enqueue places d of work on core i, attributed to site, and returns
+// its completion time.
+func (c *CPU) enqueue(i int, d time.Duration, site trace.Site) sim.Time {
 	if d < 0 {
 		panic("cpu: negative work")
 	}
@@ -83,6 +91,10 @@ func (c *CPU) enqueue(i int, d time.Duration) sim.Time {
 	}
 	co.nextFree = end
 	co.busy += d
+	if c.obs != nil && d > 0 {
+		c.obs.Span(trace.TidCore(i), site, start, d, 0)
+		c.obs.Cost(site, d)
+	}
 	return end
 }
 
@@ -92,10 +104,20 @@ func (c *CPU) Submit(d time.Duration, fn func()) {
 	c.SubmitOn(c.pick(), d, fn)
 }
 
+// SubmitSite is Submit with an explicit attribution site.
+func (c *CPU) SubmitSite(site trace.Site, d time.Duration, fn func()) {
+	c.SubmitOnSite(c.pick(), site, d, fn)
+}
+
 // SubmitOn executes d of work on a specific core (interrupt affinity),
 // then runs fn (which may be nil).
 func (c *CPU) SubmitOn(i int, d time.Duration, fn func()) {
-	end := c.enqueue(i, d)
+	c.SubmitOnSite(i, trace.SiteOther, d, fn)
+}
+
+// SubmitOnSite is SubmitOn with an explicit attribution site.
+func (c *CPU) SubmitOnSite(i int, site trace.Site, d time.Duration, fn func()) {
+	end := c.enqueue(i, d, site)
 	if fn != nil {
 		c.S.At(end, fn)
 	}
@@ -106,7 +128,12 @@ func (c *CPU) SubmitOn(i int, d time.Duration, fn func()) {
 // The softirq path uses it so per-chunk completion costs no closure
 // allocation.
 func (c *CPU) SubmitOnArg(i int, d time.Duration, fn func(any), arg any) {
-	end := c.enqueue(i, d)
+	c.SubmitOnArgSite(i, trace.SiteOther, d, fn, arg)
+}
+
+// SubmitOnArgSite is SubmitOnArg with an explicit attribution site.
+func (c *CPU) SubmitOnArgSite(i int, site trace.Site, d time.Duration, fn func(any), arg any) {
+	end := c.enqueue(i, d, site)
 	c.S.AtArg(end, fn, arg)
 }
 
@@ -122,12 +149,22 @@ func (c *CPU) Backlog(i int) time.Duration {
 // Exec blocks the calling process while d of work executes on the
 // least-loaded core.
 func (c *CPU) Exec(p *sim.Proc, d time.Duration) {
-	c.ExecOn(p, c.pick(), d)
+	c.ExecOnSite(p, c.pick(), trace.SiteApp, d)
+}
+
+// ExecSite is Exec with an explicit attribution site.
+func (c *CPU) ExecSite(p *sim.Proc, site trace.Site, d time.Duration) {
+	c.ExecOnSite(p, c.pick(), site, d)
 }
 
 // ExecOn blocks the calling process while d of work executes on core i.
 func (c *CPU) ExecOn(p *sim.Proc, i int, d time.Duration) {
-	end := c.enqueue(i, d)
+	c.ExecOnSite(p, i, trace.SiteApp, d)
+}
+
+// ExecOnSite is ExecOn with an explicit attribution site.
+func (c *CPU) ExecOnSite(p *sim.Proc, i int, site trace.Site, d time.Duration) {
+	end := c.enqueue(i, d, site)
 	wait := end.Sub(p.Now())
 	if wait > 0 {
 		p.Sleep(wait)
@@ -156,6 +193,12 @@ func (c *CPU) ResetWindow() {
 	for i := range c.cores {
 		c.markCoreBusy[i] = c.coreBusyUpTo(i, c.markAt)
 	}
+}
+
+// CoreBusyTotal returns core i's cumulative busy time since construction
+// up to the current virtual time (no window reset), for metrics sampling.
+func (c *CPU) CoreBusyTotal(i int) time.Duration {
+	return c.coreBusyUpTo(i, c.S.Now())
 }
 
 // coreBusyUpTo returns core i's busy time up to t.

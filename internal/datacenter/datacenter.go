@@ -105,15 +105,22 @@ type Options struct {
 	// panics on any violation at the end of the run.
 	Check bool
 
+	// Obs attaches observability sinks to the cluster (see host.Observability).
+	Obs host.Observability
+
 	Warm, Meas time.Duration
 }
 
 // hostOpts translates Options into cluster-construction options.
 func (o Options) hostOpts() []host.Option {
+	var opts []host.Option
 	if o.Check {
-		return []host.Option{host.WithCheck()}
+		opts = append(opts, host.WithCheck())
 	}
-	return nil
+	if o.Obs.Enabled() {
+		opts = append(opts, host.WithObservability(o.Obs))
+	}
+	return opts
 }
 
 func (o *Options) defaults() {

@@ -13,6 +13,7 @@ import (
 	"ioatsim/internal/cost"
 	"ioatsim/internal/mem"
 	"ioatsim/internal/sim"
+	"ioatsim/internal/trace"
 )
 
 // Engine is one node's copy engine. Transfers are executed in submission
@@ -37,7 +38,13 @@ type Engine struct {
 	doneFree []*sim.Completion
 
 	chk *check.Checker
+	obs *trace.Obs
 }
+
+// SetObs attaches the owning node's observability sinks; each transfer
+// then records its engine-occupancy span on the node's dma track. (The
+// CPU-side setup cost is charged — and attributed — by the caller.)
+func (e *Engine) SetObs(o *trace.Obs) { e.obs = o }
 
 // xfer carries one in-flight transfer between Submit and its completion
 // event, pre-bound so no per-transfer closure is needed.
@@ -105,6 +112,9 @@ func (e *Engine) Submit(src, dst mem.Addr, n int) *sim.Completion {
 	}
 	e.nextFree = end
 	e.busy += ser
+	if e.obs != nil && n > 0 {
+		e.obs.Span(trace.TidDMA, trace.SiteDMAXfer, start, ser, int64(n))
+	}
 	var x *xfer
 	if k := len(e.xferFree); k > 0 {
 		x = e.xferFree[k-1]

@@ -11,6 +11,7 @@ package host
 
 import (
 	"fmt"
+	"time"
 
 	"ioatsim/internal/check"
 	"ioatsim/internal/cost"
@@ -18,10 +19,12 @@ import (
 	"ioatsim/internal/dma"
 	"ioatsim/internal/ioat"
 	"ioatsim/internal/mem"
+	"ioatsim/internal/metrics"
 	"ioatsim/internal/nic"
 	"ioatsim/internal/rng"
 	"ioatsim/internal/sim"
 	"ioatsim/internal/tcp"
+	"ioatsim/internal/trace"
 )
 
 // Node is one complete machine.
@@ -46,6 +49,13 @@ func NewNode(s *sim.Simulator, p *cost.Params, feat ioat.Features, name string, 
 	e := dma.New(s, p, m)
 	n := nic.New(s, p, c, m, e, feat, name, nports)
 	st := tcp.NewStack(s, p, c, m, e, n, feat, name)
+	if o := trace.NewObs(s, name); o != nil {
+		c.SetObs(o)
+		m.SetObs(o)
+		e.SetObs(o)
+		n.SetObs(o) // also wires the ports
+		st.SetObs(o)
+	}
 	return &Node{
 		Name: name, S: s, P: p, Feat: feat,
 		CPU: c, Mem: m, DMA: e, NIC: n, Stack: st,
@@ -73,6 +83,33 @@ type Cluster struct {
 
 	// Check is the invariant checker installed by WithCheck, nil otherwise.
 	Check *check.Checker
+
+	// Obs holds the observability sinks installed by WithObservability.
+	Obs Observability
+
+	// scope is this cluster's metrics instrument scope, nil without a
+	// registry.
+	scope *metrics.Scope
+}
+
+// Observability bundles the optional observability sinks a cluster can
+// be built with. Any subset may be set; all-nil means fully disabled
+// (the zero value).
+type Observability struct {
+	// Trace records typed spans/instants for Chrome trace-event export.
+	Trace *trace.Tracer
+	// Profile attributes simulated CPU time to cost-model sites.
+	Profile *trace.Profiler
+	// Metrics collects sampled time-series rows.
+	Metrics *metrics.Registry
+	// MetricsInterval is the sampling tick (metrics.DefaultInterval when
+	// zero).
+	MetricsInterval time.Duration
+}
+
+// Enabled reports whether any sink is installed.
+func (o Observability) Enabled() bool {
+	return o.Trace != nil || o.Profile != nil || o.Metrics != nil
 }
 
 // Option configures a Cluster under construction.
@@ -83,6 +120,15 @@ type Option func(*Cluster)
 // Verify reports the verdict at the end of the run.
 func WithCheck() Option {
 	return func(c *Cluster) { c.Check = check.New() }
+}
+
+// WithObservability installs the given observability sinks on the
+// cluster's simulator as additional probes (composing with WithCheck).
+// Sinks may be shared across sequentially-built clusters of one sweep;
+// the tracer and registry are not safe for concurrently-running
+// simulators.
+func WithObservability(o Observability) Option {
+	return func(c *Cluster) { c.Obs = o }
 }
 
 // NewCluster returns an empty cluster with a deterministic RNG. The
@@ -100,10 +146,23 @@ func NewCluster(p *cost.Params, seed uint64, opts ...Option) *Cluster {
 	for _, o := range opts {
 		o(c)
 	}
+	var simOpts []sim.Option
 	if c.Check != nil {
-		c.S = sim.New(sim.WithProbe(c.Check))
-	} else {
-		c.S = sim.New()
+		simOpts = append(simOpts, sim.WithProbe(c.Check))
+	}
+	if c.Obs.Trace != nil {
+		simOpts = append(simOpts, sim.WithProbe(c.Obs.Trace))
+	}
+	if c.Obs.Profile != nil {
+		simOpts = append(simOpts, sim.WithProbe(c.Obs.Profile))
+	}
+	if c.Obs.Metrics != nil {
+		simOpts = append(simOpts, sim.WithProbe(c.Obs.Metrics))
+	}
+	c.S = sim.New(simOpts...)
+	if c.Obs.Metrics != nil {
+		c.scope = c.Obs.Metrics.NewScope()
+		c.scope.StartSampler(c.S, c.Obs.MetricsInterval)
 	}
 	return c
 }
@@ -135,7 +194,64 @@ func (c *Cluster) Add(name string, feat ioat.Features, nports int) *Node {
 	n := NewNode(c.S, c.P, feat, name, nports)
 	c.Nodes = append(c.Nodes, n)
 	c.byName[name] = n
+	if c.scope != nil {
+		registerNodeMetrics(c.scope, n)
+	}
 	return n
+}
+
+// registerNodeMetrics wires the per-node time series the paper's
+// resource stories are told in: per-core utilization and run-queue
+// depth, link and transport throughput, DMA-engine occupancy, cache hit
+// ratio and interrupt rate. Cumulative device counters become rates (or
+// windowed ratios) at each sampler tick, so every series is directly
+// plottable against virtual time.
+func registerNodeMetrics(sc *metrics.Scope, n *Node) {
+	pre := n.Name + "/"
+	for i := 0; i < n.CPU.NumCores(); i++ {
+		i := i
+		// Busy seconds are cumulative, so the sampled rate is the core's
+		// busy fraction (utilization in [0, 1]) over each tick window.
+		sc.CounterFunc(pre+fmt.Sprintf("cpu%d/util", i), func() float64 {
+			return n.CPU.CoreBusyTotal(i).Seconds()
+		})
+		sc.GaugeFunc(pre+fmt.Sprintf("cpu%d/runq_us", i), func() float64 {
+			return float64(n.CPU.Backlog(i)) / 1e3
+		})
+	}
+	sc.CounterFunc(pre+"net/rx_mbps", func() float64 {
+		var b int64
+		for _, p := range n.NIC.Ports {
+			b += p.RxWireBytes
+		}
+		return float64(b) * 8 / 1e6
+	})
+	sc.CounterFunc(pre+"net/tx_mbps", func() float64 {
+		var b int64
+		for _, p := range n.NIC.Ports {
+			b += p.TxWireBytes
+		}
+		return float64(b) * 8 / 1e6
+	})
+	sc.GaugeFunc(pre+"dma/queue_us", func() float64 {
+		return float64(n.DMA.QueueDelay()) / 1e3
+	})
+	sc.CounterFunc(pre+"dma/copy_mbps", func() float64 {
+		return float64(n.DMA.BytesMoved) * 8 / 1e6
+	})
+	sc.CounterFunc(pre+"nic/interrupts", func() float64 {
+		return float64(n.NIC.Interrupts)
+	})
+	sc.RatioFunc(pre+"cache/hit_ratio",
+		func() float64 { return float64(n.Mem.Cache.Hits) },
+		func() float64 { return float64(n.Mem.Cache.Hits + n.Mem.Cache.Misses) })
+	sc.CounterFunc(pre+"tcp/rx_mbps", func() float64 {
+		return float64(n.Stack.BytesReceived) * 8 / 1e6
+	})
+	n.Stack.SetMetrics(
+		sc.TimeWeighted(pre+"tcp/rx_backlog_bytes"),
+		sc.HistogramInstrument(pre+"tcp/seg_bytes",
+			1024, 4096, 9216, 16384, 32768, 65536))
 }
 
 // Node returns a registered node by name.

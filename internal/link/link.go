@@ -10,6 +10,7 @@ import (
 
 	"ioatsim/internal/check"
 	"ioatsim/internal/sim"
+	"ioatsim/internal/trace"
 )
 
 // Chunk is one burst of frames in flight.
@@ -87,7 +88,12 @@ type Port struct {
 	RxWireBytes int64
 
 	chk *check.Checker
+	obs *trace.Obs
 }
+
+// SetObs attaches the owning node's observability sinks; each chunk then
+// records its wire-occupancy span on the port's link track.
+func (p *Port) SetObs(o *trace.Obs) { p.obs = o }
 
 // NewPort returns an idle port.
 func NewPort(s *sim.Simulator, node string, index int, rateBps int64, prop time.Duration) *Port {
@@ -132,6 +138,11 @@ func (p *Port) Send(dst *Port, c *Chunk) {
 	p.txFree = txEnd
 	p.TxBytes += int64(c.Bytes)
 	p.TxWireBytes += int64(c.WireBytes)
+	if p.obs != nil {
+		// The transmit-side serialization window only: per-port spans
+		// stay non-overlapping, which trace viewers require per track.
+		p.obs.Span(trace.TidLinkBase+int32(p.Index), trace.SiteLinkChunk, txStart, ser, int64(c.WireBytes))
+	}
 
 	arrive := txEnd.Add(p.Prop)
 	deliverAt := arrive

@@ -5,6 +5,7 @@ import (
 
 	"ioatsim/internal/check"
 	"ioatsim/internal/cost"
+	"ioatsim/internal/trace"
 )
 
 // auditEvery is how many priced operations pass between two structural
@@ -13,6 +14,12 @@ import (
 // the end-of-run audit.
 const auditEvery = 4096
 
+// missBurstLines is the miss count at which one priced operation is
+// worth a trace marker: a burst this size means a whole frame (or more)
+// came from DRAM in one go — the cold-buffer signature the paper's
+// cache-miss story is about.
+const missBurstLines = 32
+
 // Model prices memory operations against one node's cache.
 type Model struct {
 	P     *cost.Params
@@ -20,6 +27,7 @@ type Model struct {
 	Space *Space
 
 	chk *check.Checker
+	obs *trace.Obs
 	ops uint64
 }
 
@@ -49,6 +57,22 @@ func (m *Model) SetChecker(c *check.Checker) {
 	})
 }
 
+// SetObs attaches the node's observability sinks: the profiler's
+// memory-pricing detail (hit vs miss split of copy and header work) and
+// the tracer's cache-miss-burst markers.
+func (m *Model) SetObs(o *trace.Obs) { m.obs = o }
+
+// streamObs attributes one priced streaming operation and marks miss
+// bursts. Called only when obs is installed.
+func (m *Model) streamObs(hits, misses int) {
+	o := m.obs
+	o.Cost(trace.SiteCopyHit, time.Duration(hits)*m.P.StreamHit)
+	o.Cost(trace.SiteCopyMiss, time.Duration(misses)*m.P.StreamMiss)
+	if misses >= missBurstLines {
+		o.Instant(trace.TidMem, trace.SiteMissBurst, int64(misses))
+	}
+}
+
 // observe is the per-operation probe: hit/miss counters must be
 // monotone and consistent, and the structure is audited periodically.
 func (m *Model) observe() {
@@ -76,6 +100,9 @@ func (m *Model) CopyCost(src, dst Addr, n int) time.Duration {
 			n, sh, sm, dh, dm)
 		m.observe()
 	}
+	if m.obs != nil {
+		m.streamObs(sh+dh, sm+dm)
+	}
 	hits := time.Duration(sh + dh)
 	misses := time.Duration(sm + dm)
 	return hits*m.P.StreamHit + misses*m.P.StreamMiss
@@ -101,6 +128,9 @@ func (m *Model) TouchCost(addr Addr, n int) time.Duration {
 			"mem", "touch of %d bytes counted %d hits + %d misses", n, h, miss)
 		m.observe()
 	}
+	if m.obs != nil {
+		m.streamObs(h, miss)
+	}
 	return time.Duration(h)*m.P.StreamHit + time.Duration(miss)*m.P.StreamMiss
 }
 
@@ -114,6 +144,10 @@ func (m *Model) RandomCost(addr Addr, nLines int) time.Duration {
 		m.chk.Assert(h+miss == max(nLines, 0),
 			"mem", "random access of %d lines counted %d hits + %d misses", nLines, h, miss)
 		m.observe()
+	}
+	if m.obs != nil {
+		m.obs.Cost(trace.SiteHeaderHit, time.Duration(h)*m.P.RandHit)
+		m.obs.Cost(trace.SiteHeaderMiss, time.Duration(miss)*m.P.RandMiss)
 	}
 	return time.Duration(h)*m.P.RandHit + time.Duration(miss)*m.P.RandMiss
 }
@@ -141,6 +175,9 @@ func (m *Model) InstallPacket(addr Addr, n int) time.Duration {
 		m.chk.Assert(evicted <= m.lineSpan(addr, n),
 			"mem", "installing %d bytes evicted %d lines, more than it spans", n, evicted)
 		m.observe()
+	}
+	if m.obs != nil {
+		m.obs.Cost(trace.SiteEvict, time.Duration(evicted)*m.P.EvictPenalty)
 	}
 	return time.Duration(evicted) * m.P.EvictPenalty
 }

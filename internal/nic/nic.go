@@ -21,6 +21,7 @@ import (
 	"ioatsim/internal/link"
 	"ioatsim/internal/mem"
 	"ioatsim/internal/sim"
+	"ioatsim/internal/trace"
 )
 
 // Flow is what the NIC needs to know about a transport flow: a stable id
@@ -95,6 +96,17 @@ type NIC struct {
 	Evictions  time.Duration // total pollution penalty charged
 
 	chk *check.Checker
+	obs *trace.Obs
+}
+
+// SetObs attaches the node's observability sinks to the NIC and all its
+// ports: chunk arrivals become instants on the nic track and softirq
+// work is attributed per receive core.
+func (n *NIC) SetObs(o *trace.Obs) {
+	n.obs = o
+	for _, p := range n.Ports {
+		p.SetObs(o)
+	}
 }
 
 // New returns a NIC with nports ports attached to the node.
@@ -248,7 +260,10 @@ func (n *NIC) deliver(port int, c *link.Chunk) {
 	}
 
 	rx.Chunk, rx.Flow, rx.Bufs, rx.Port, rx.arrived = c, flow, bufs, port, n.S.Now()
-	n.CPU.SubmitOnArg(n.RxCore(port, flow), work, rxReady, rx)
+	if n.obs != nil {
+		n.obs.Instant(trace.TidNIC, trace.SiteNICRx, int64(c.Bytes))
+	}
+	n.CPU.SubmitOnArgSite(n.RxCore(port, flow), trace.SiteSoftirq, work, rxReady, rx)
 }
 
 // rxReady is the pre-bound softirq-completion event: it fires on the
@@ -275,7 +290,8 @@ func rxReady(a any) {
 // interrupt core. It runs asynchronously to the sending thread.
 func (n *NIC) TxComplete(port int, f Flow, bytes int) {
 	frames := n.P.Frames(bytes)
-	n.CPU.SubmitOn(n.RxCore(port, f), time.Duration(frames)*n.P.TxCompleteFrame, nil)
+	n.CPU.SubmitOnSite(n.RxCore(port, f), trace.SiteTxComplete,
+		time.Duration(frames)*n.P.TxCompleteFrame, nil)
 }
 
 // TxCost returns the sender-side CPU cost of segmenting and queueing n

@@ -28,6 +28,9 @@ type Options struct {
 	// panics on any violation at the end of the run.
 	Check bool
 
+	// Obs attaches observability sinks to the cluster (see host.Observability).
+	Obs host.Observability
+
 	Warm, Meas time.Duration
 }
 
@@ -67,6 +70,9 @@ func Run(o Options) Metrics {
 	var opts []host.Option
 	if o.Check {
 		opts = append(opts, host.WithCheck())
+	}
+	if o.Obs.Enabled() {
+		opts = append(opts, host.WithObservability(o.Obs))
 	}
 	cl := host.NewCluster(o.P, o.Seed, opts...)
 	compute := cl.Add("compute", o.Feat, 6)

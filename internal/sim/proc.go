@@ -61,6 +61,9 @@ func (s *Simulator) runProc(p *Proc) {
 	if p.dead {
 		panic(fmt.Sprintf("sim: resuming dead process %q", p.name))
 	}
+	if s.procProbe != nil {
+		s.procProbe.ProcRun(p.name, s.now)
+	}
 	prev := s.current
 	s.current = p
 	p.resume <- struct{}{}

@@ -65,9 +65,10 @@ type event struct {
 	arg   any
 }
 
-// Probe observes engine activity for debug-mode invariant checking
-// (see internal/check). Install one with WithProbe; without one the
-// engine pays a single predictable nil-branch per event.
+// Probe observes engine activity for debug-mode checking and tracing
+// (see internal/check, internal/trace, internal/metrics). Install one or
+// more with WithProbe; without any the engine pays a single predictable
+// nil-branch per event.
 type Probe interface {
 	// EventScheduled fires inside At after validation: now is the
 	// current clock, at the requested dispatch time.
@@ -77,12 +78,73 @@ type Probe interface {
 	EventDispatched(at Time)
 }
 
+// ProcProbe is an optional extension a Probe can implement to observe
+// scheduler hand-offs to simulation processes. Only the first installed
+// probe implementing it receives the callbacks.
+type ProcProbe interface {
+	// ProcRun fires each time the event loop transfers control to a
+	// process (spawn, wake, sleep expiry, completion).
+	ProcRun(name string, at Time)
+}
+
+// multiProbe fans engine hooks out to several probes in install order.
+// The common cases (zero or one probe) never allocate it: the engine's
+// hot path still tests one pointer and makes at most one direct call.
+type multiProbe struct{ probes []Probe }
+
+func (m *multiProbe) EventScheduled(now, at Time) {
+	for _, p := range m.probes {
+		p.EventScheduled(now, at)
+	}
+}
+
+func (m *multiProbe) EventDispatched(at Time) {
+	for _, p := range m.probes {
+		p.EventDispatched(at)
+	}
+}
+
 // Option configures a Simulator at construction.
 type Option func(*Simulator)
 
 // WithProbe installs a probe that observes every schedule and dispatch.
+// The option may be given multiple times; all probes see every hook, in
+// install order.
 func WithProbe(p Probe) Option {
-	return func(s *Simulator) { s.probe = p }
+	return func(s *Simulator) { s.addProbe(p) }
+}
+
+// addProbe appends p to the installed probe set, wrapping in a fan-out
+// only once a second probe arrives.
+func (s *Simulator) addProbe(p Probe) {
+	if p == nil {
+		return
+	}
+	switch cur := s.probe.(type) {
+	case nil:
+		s.probe = p
+	case *multiProbe:
+		cur.probes = append(cur.probes, p)
+	default:
+		s.probe = &multiProbe{probes: []Probe{cur, p}}
+	}
+	if pp, ok := p.(ProcProbe); ok && s.procProbe == nil {
+		s.procProbe = pp
+	}
+}
+
+// Probes returns the individually installed probes in install order
+// (never the internal fan-out wrapper), so subsystems can discover their
+// own probe by type even when several are installed.
+func (s *Simulator) Probes() []Probe {
+	switch cur := s.probe.(type) {
+	case nil:
+		return nil
+	case *multiProbe:
+		return cur.probes
+	default:
+		return []Probe{cur}
+	}
 }
 
 // Simulator owns the virtual clock and the pending event set.
@@ -92,6 +154,9 @@ type Simulator struct {
 	seq     uint64
 	stopped bool
 	probe   Probe
+	// procProbe caches the first installed probe that also implements
+	// ProcProbe, so runProc pays one nil-test instead of a type switch.
+	procProbe ProcProbe
 
 	// Pending-event storage. events is the arena; free lists arena slots
 	// ready for reuse; heap is a 4-ary min-heap of arena indices ordered
@@ -134,7 +199,9 @@ func New(opts ...Option) *Simulator {
 // Now returns the current virtual time.
 func (s *Simulator) Now() Time { return s.now }
 
-// InstalledProbe returns the probe installed with WithProbe, or nil.
+// InstalledProbe returns the single installed probe, or nil. With more
+// than one probe installed it returns the internal fan-out wrapper;
+// callers looking for a specific probe type should use Probes.
 func (s *Simulator) InstalledProbe() Probe { return s.probe }
 
 // Executed reports how many events have been dispatched so far.

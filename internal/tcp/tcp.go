@@ -26,8 +26,10 @@ import (
 	"ioatsim/internal/ioat"
 	"ioatsim/internal/link"
 	"ioatsim/internal/mem"
+	"ioatsim/internal/metrics"
 	"ioatsim/internal/nic"
 	"ioatsim/internal/sim"
+	"ioatsim/internal/trace"
 )
 
 // Stack is one node's transport instance.
@@ -56,6 +58,34 @@ type Stack struct {
 	BytesReceived int64
 
 	chk *check.Checker
+	obs *trace.Obs
+
+	// Optional metrics instruments (nil without a registry): the summed
+	// unconsumed receive backlog across this stack's connections, and the
+	// distribution of transmitted segment-group sizes.
+	bkGauge   *metrics.TimeWeighted
+	segHist   *metrics.Histogram
+	rxBacklog int64
+}
+
+// SetObs attaches the node's observability sinks: segment hand-offs and
+// deliveries become instants on the tcp track, and the transport's CPU
+// work is attributed per cost-model site.
+func (st *Stack) SetObs(o *trace.Obs) { st.obs = o }
+
+// SetMetrics attaches the stack's push-style instruments (either may be
+// nil). Host registration calls this once per node when a registry is
+// installed.
+func (st *Stack) SetMetrics(backlog *metrics.TimeWeighted, seg *metrics.Histogram) {
+	st.bkGauge = backlog
+	st.segHist = seg
+}
+
+// noteBacklog tracks the stack-wide unconsumed receive backlog in the
+// time-weighted gauge. Called only when the gauge is installed.
+func (st *Stack) noteBacklog(d int64) {
+	st.rxBacklog += d
+	st.bkGauge.Set(st.S.Now(), float64(st.rxBacklog))
 }
 
 // NewStack wires a transport onto the node's NIC and installs the receive
@@ -230,7 +260,7 @@ func (c *Conn) SendOpts(p *sim.Proc, src mem.Buffer, n int, opts SendOptions) {
 		for c.inflight >= c.window {
 			c.txWaiters = append(c.txWaiters, p)
 			p.Park()
-			st.CPU.Exec(p, st.CPU.WakeCost())
+			st.CPU.ExecSite(p, trace.SiteCtxSwitch, st.CPU.WakeCost())
 		}
 		chunk := n - sent
 		if chunk > pm.ChunkMax {
@@ -251,7 +281,7 @@ func (c *Conn) SendOpts(p *sim.Proc, src mem.Buffer, n int, opts SendOptions) {
 			st.txPool.Put(kb)
 		}
 		work += st.NIC.TxCost(chunk)
-		st.CPU.Exec(p, work)
+		st.CPU.ExecSite(p, trace.SiteTxSend, work)
 
 		c.inflight += chunk
 		if st.chk != nil {
@@ -267,6 +297,12 @@ func (c *Conn) SendOpts(p *sim.Proc, src mem.Buffer, n int, opts SendOptions) {
 		lc.WireBytes = pm.WireBytes(chunk)
 		lc.Meta = c.peer
 		st.NIC.Port(c.localPort).Send(c.peer.stack.NIC.Port(c.peerPort), lc)
+		if st.obs != nil {
+			st.obs.Instant(trace.TidTCP, trace.SiteTCPSegment, int64(chunk))
+		}
+		if st.segHist != nil {
+			st.segHist.Observe(float64(chunk))
+		}
 		st.NIC.TxComplete(c.localPort, c, chunk)
 		sent += chunk
 	}
@@ -306,6 +342,12 @@ func (st *Stack) onReceive(rx *nic.RxChunk) {
 		st.chk.Assert(c.rxAvail >= 0, "tcp", "%s negative receive backlog %d", st.Name, c.rxAvail)
 	}
 	st.BytesReceived += int64(rx.Chunk.Bytes)
+	if st.obs != nil {
+		st.obs.Instant(trace.TidTCP, trace.SiteTCPDeliver, int64(rx.Chunk.Bytes))
+	}
+	if st.bkGauge != nil {
+		st.noteBacklog(int64(rx.Chunk.Bytes))
+	}
 	if w := c.rxWaiter; w != nil {
 		c.rxWaiter = nil
 		st.S.Wake(w)
@@ -319,9 +361,9 @@ func (st *Stack) submitDMA(c *Conn, pd *pending, p *sim.Proc) {
 	frames := pd.rx.Chunk.Frames
 	submit := time.Duration(frames) * st.P.DMAFrameSubmit
 	if p != nil {
-		st.CPU.Exec(p, submit)
+		st.CPU.ExecSite(p, trace.SiteDMASubmit, submit)
 	} else {
-		st.CPU.SubmitOn(st.NIC.RxCore(pd.rx.Port, c), submit, nil)
+		st.CPU.SubmitOnSite(st.NIC.RxCore(pd.rx.Port, c), trace.SiteDMASubmit, submit, nil)
 	}
 	// Destination: the posted user buffer region. Address identity only
 	// matters for cache bookkeeping (the engine invalidates it).
@@ -341,7 +383,7 @@ func (c *Conn) Recv(p *sim.Proc, dst mem.Buffer, n int) {
 	}
 	if st.Feat.DMACopy {
 		// Pin the posted buffer once per recv call.
-		st.CPU.Exec(p, time.Duration(pm.Pages(n))*pm.PinPerPage)
+		st.CPU.ExecSite(p, trace.SitePin, time.Duration(pm.Pages(n))*pm.PinPerPage)
 	}
 	c.posted = true
 	done := c.doneScratch[:0]
@@ -354,7 +396,7 @@ func (c *Conn) Recv(p *sim.Proc, dst mem.Buffer, n int) {
 			}
 			c.rxWaiter = p
 			p.Park()
-			st.CPU.Exec(p, st.CPU.WakeCost())
+			st.CPU.ExecSite(p, trace.SiteCtxSwitch, st.CPU.WakeCost())
 		}
 		pd := c.rxq[c.rxqHead]
 		m := pd.remaining()
@@ -367,16 +409,19 @@ func (c *Conn) Recv(p *sim.Proc, dst mem.Buffer, n int) {
 			if pd.dma == nil {
 				st.submitDMA(c, pd, p)
 			}
-			st.CPU.Exec(p, work)
+			st.CPU.ExecSite(p, trace.SiteRecvCopy, work)
 			pd.dma.Wait(p)
 		} else {
 			work += c.copyCost(pd, m, dst, off)
-			st.CPU.Exec(p, work)
+			st.CPU.ExecSite(p, trace.SiteRecvCopy, work)
 		}
 
 		pd.off += m
 		c.rxAvail -= m
 		need -= m
+		if st.bkGauge != nil {
+			st.noteBacklog(int64(-m))
+		}
 		if st.chk != nil {
 			st.chk.Assert(pd.off <= pd.rx.Chunk.Bytes,
 				"tcp", "%s consumed %d bytes of a %d-byte chunk", st.Name, pd.off, pd.rx.Chunk.Bytes)
@@ -476,7 +521,7 @@ func applyCredit(a any) {
 	c := ev.conn
 	peer := c.peer
 	m := ev.m
-	peer.stack.CPU.Submit(time.Duration(ev.acks)*peer.stack.P.AckProc, nil)
+	peer.stack.CPU.SubmitSite(trace.SiteAckProc, time.Duration(ev.acks)*peer.stack.P.AckProc, nil)
 	peer.inflight -= m
 	if peer.inflight < 0 {
 		panic("tcp: negative inflight")

@@ -35,9 +35,11 @@ import (
 	"ioatsim/internal/ioat"
 	"ioatsim/internal/ipc"
 	"ioatsim/internal/mem"
+	"ioatsim/internal/metrics"
 	"ioatsim/internal/pvfs"
 	"ioatsim/internal/sim"
 	"ioatsim/internal/tcp"
+	"ioatsim/internal/trace"
 )
 
 // ---- simulation kernel ----
@@ -116,6 +118,39 @@ type ClusterOption = host.Option
 // run is audited for byte conservation, event causality and cache
 // structure, and Cluster.Verify reports the verdict at the end.
 func WithCheck() ClusterOption { return host.WithCheck() }
+
+// ---- observability ----
+
+// Tracer records typed spans and instants from every device into a
+// fixed ring and exports Chrome trace-event JSON (Tracer.WriteJSON).
+type Tracer = trace.Tracer
+
+// Profiler attributes simulated-CPU busy time to cost-model sites;
+// Profiler.Report renders the sorted self-time table.
+type Profiler = trace.Profiler
+
+// MetricsRegistry samples time-series metrics (per-core utilization,
+// link throughput, cache hit ratio, ...) on a simulated-time tick and
+// exports CSV (WriteCSV) or JSON (WriteJSON).
+type MetricsRegistry = metrics.Registry
+
+// Observability bundles the optional sinks WithObservability installs.
+type Observability = host.Observability
+
+// NewTracer returns a tracer with a ring of n records (n <= 0 picks
+// the default capacity).
+func NewTracer(n int) *Tracer { return trace.New(n) }
+
+// NewProfiler returns an empty simulated-CPU profiler.
+func NewProfiler() *Profiler { return trace.NewProfiler() }
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *MetricsRegistry { return metrics.New() }
+
+// WithObservability installs the bundle's sinks on the cluster. All
+// sinks are optional; devices pay one nil compare per site for any
+// sink left out, and installed observers never perturb results.
+func WithObservability(o Observability) ClusterOption { return host.WithObservability(o) }
 
 // NewCluster returns an empty cluster with a deterministic RNG.
 func NewCluster(p *Params, seed uint64, opts ...ClusterOption) *Cluster {

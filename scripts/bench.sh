@@ -1,6 +1,6 @@
 #!/bin/sh
-# bench.sh — wall-clock benchmark of the ioatbench suite, writing
-# BENCH_PR3.json at the repo root.
+# bench.sh — wall-clock benchmark of the ioatbench suite, writing a
+# BENCH_PR<N>.json style report at the repo root.
 #
 # The headline number is the sequential full-suite wall clock at the
 # given scale (default 0.25), plus engine throughput in events/sec.
@@ -11,12 +11,16 @@
 #
 # A parallel run is also timed and its result tables diffed against the
 # sequential ones: the tables must not depend on the worker count.
-# Usage: scripts/bench.sh [scale] (default 0.25).
+# Usage: scripts/bench.sh [scale] [outfile]
+#   scale   defaults to 0.25
+#   outfile defaults to BENCH_PR3.json (pass BENCH_PR<N>.json per PR)
 set -eu
 
 cd "$(dirname "$0")/.."
 SCALE="${1:-0.25}"
-OUT=BENCH_PR3.json
+OUT="${2:-BENCH_PR3.json}"
+PR="$(basename "$OUT" | sed -n 's/^BENCH_PR\([0-9][0-9]*\)\.json$/\1/p')"
+PR="${PR:-0}"
 BASELINE_WALL_S=21.3
 BASELINE_COMMIT=708e1a6
 BIN="$(mktemp -d)/ioatbench"
@@ -56,7 +60,7 @@ cut=$(awk -v base="$BASELINE_WALL_S" -v now="$seq_s" \
 
 cat >"$OUT" <<EOF
 {
-  "pr": 3,
+  "pr": $PR,
   "bench": "ioatbench full suite, sequential",
   "scale": $SCALE,
   "baseline_commit": "$BASELINE_COMMIT",
