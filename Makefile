@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race golden fuzz-smoke bench-smoke trace-smoke bench sim-bench profile clean
+.PHONY: all build vet test race golden fuzz-smoke bench-smoke trace-smoke bench bench-compare sim-bench profile clean
 
 all: build vet test
 
@@ -23,11 +23,12 @@ race:
 golden:
 	$(GO) test . -run 'TestGoldenCorpus$$' -update
 
-# Short fuzz pass over the transport segmentation and cache invariants;
-# CI runs this on every push.
+# Short fuzz pass over the transport segmentation, cache and scheduler
+# invariants; CI runs this on every push.
 fuzz-smoke:
 	$(GO) test ./internal/tcp -run '^$$' -fuzz FuzzTCPSegmentation -fuzztime 15s
 	$(GO) test ./internal/mem -run '^$$' -fuzz FuzzCacheAccessRange -fuzztime 15s
+	$(GO) test ./internal/sim -run '^$$' -fuzz FuzzSchedulerOrdering -fuzztime 15s
 
 # A fast end-to-end pass over every experiment: shapes only, tiny scale.
 bench-smoke: build
@@ -47,6 +48,14 @@ trace-smoke: build
 # BENCH_PR<N>.json at the repo root (see scripts/bench.sh).
 bench:
 	./scripts/bench.sh
+
+# Gate NEW against OLD: non-zero exit if the sequential wall clock
+# regressed by more than 10% (override with MAX_REGRESS).
+OLD ?= BENCH_PR3.json
+NEW ?= BENCH_PR6.json
+MAX_REGRESS ?= 0.10
+bench-compare:
+	$(GO) run ./cmd/benchcompare -max-regress $(MAX_REGRESS) $(OLD) $(NEW)
 
 # Hot-path microbenchmarks: event core, cache model, end-to-end packet
 # path. allocs/op must be 0 on every steady-state path.

@@ -1,0 +1,108 @@
+// Command benchcompare diffs two bench.sh reports (BENCH_PR<N>.json)
+// and fails on a wall-clock regression.
+//
+// Usage:
+//
+//	benchcompare [-max-regress 0.10] OLD.json NEW.json
+//
+// The reports must be at the same scale (comparing different workload
+// sizes is meaningless). The gate is the sequential cold-cache wall
+// clock: NEW may be at most (1+max-regress) times OLD. Event counts are
+// compared informationally — a change there means the simulation
+// itself changed, which timing alone cannot judge.
+//
+// Exit status: 0 comparable and within budget, 1 wall-clock regression
+// beyond the budget, 2 reports unreadable or not comparable.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// report mirrors the fields of scripts/bench.sh output that the
+// comparison uses; unknown fields are ignored so older reports (without
+// warm-cache or scheduler stats) still load.
+type report struct {
+	PR          int     `json:"pr"`
+	Scale       float64 `json:"scale"`
+	WallS       float64 `json:"wall_s"`
+	WarmWallS   float64 `json:"warm_wall_s"`
+	Events      float64 `json:"events"`
+	EventsPerS  float64 `json:"events_per_s"`
+	PeakPending float64 `json:"peak_pending"`
+}
+
+func load(path string) (report, error) {
+	var r report
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(blob, &r); err != nil {
+		return r, fmt.Errorf("%s: %v", path, err)
+	}
+	if r.WallS <= 0 {
+		return r, fmt.Errorf("%s: no wall_s field (not a bench.sh report?)", path)
+	}
+	return r, nil
+}
+
+// delta formats the new-vs-old fractional change of a pair of values.
+func delta(oldV, newV float64) string {
+	if oldV == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", (newV/oldV-1)*100)
+}
+
+func main() {
+	maxRegress := flag.Float64("max-regress", 0.10,
+		"maximum tolerated fractional wall-clock regression (0.10 = 10%)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: benchcompare [-max-regress frac] OLD.json NEW.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldR, err := load(flag.Arg(0))
+	if err == nil {
+		var newR report
+		newR, err = load(flag.Arg(1))
+		if err == nil {
+			if oldR.Scale != newR.Scale {
+				fmt.Fprintf(os.Stderr, "benchcompare: scale mismatch: %v vs %v — not comparable\n",
+					oldR.Scale, newR.Scale)
+				os.Exit(2)
+			}
+			fmt.Printf("%-16s %12s %12s %9s\n", "", flag.Arg(0), flag.Arg(1), "delta")
+			fmt.Printf("%-16s %12.3f %12.3f %9s\n", "wall_s", oldR.WallS, newR.WallS, delta(oldR.WallS, newR.WallS))
+			if oldR.WarmWallS > 0 && newR.WarmWallS > 0 {
+				fmt.Printf("%-16s %12.3f %12.3f %9s\n", "warm_wall_s", oldR.WarmWallS, newR.WarmWallS, delta(oldR.WarmWallS, newR.WarmWallS))
+			}
+			fmt.Printf("%-16s %12.0f %12.0f %9s\n", "events", oldR.Events, newR.Events, delta(oldR.Events, newR.Events))
+			fmt.Printf("%-16s %12.0f %12.0f %9s\n", "events_per_s", oldR.EventsPerS, newR.EventsPerS, delta(oldR.EventsPerS, newR.EventsPerS))
+			if oldR.PeakPending > 0 || newR.PeakPending > 0 {
+				fmt.Printf("%-16s %12.0f %12.0f %9s\n", "peak_pending", oldR.PeakPending, newR.PeakPending, delta(oldR.PeakPending, newR.PeakPending))
+			}
+			if newR.Events != oldR.Events {
+				fmt.Printf("note: event counts differ — the simulation changed, not just its speed\n")
+			}
+			if limit := oldR.WallS * (1 + *maxRegress); newR.WallS > limit {
+				fmt.Fprintf(os.Stderr, "benchcompare: FAIL: wall clock %.3fs exceeds %.3fs (old %.3fs + %.0f%% budget)\n",
+					newR.WallS, limit, oldR.WallS, *maxRegress*100)
+				os.Exit(1)
+			}
+			fmt.Printf("OK: within the %.0f%% regression budget\n", *maxRegress*100)
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "benchcompare: %v\n", err)
+	os.Exit(2)
+}

@@ -10,6 +10,8 @@
 //	ioatbench -parallel 1        # strictly sequential
 //	ioatbench -check             # audit every run with the invariant checker
 //	ioatbench -json              # machine-readable results on stdout
+//	ioatbench -pointcache on     # memoize sweep points in testdata/pointcache/
+//	ioatbench -pointcache mem    # memoize in-process only (also: a directory path)
 //	ioatbench -trace t.json      # record a Chrome/Perfetto trace of the runs
 //	ioatbench -metrics m.csv     # sample time-series metrics (.csv or .json)
 //	ioatbench -profile-report    # print the simulated-CPU self-time profile
@@ -25,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -63,12 +66,21 @@ type jsonReport struct {
 	Seed        uint64       `json:"seed"`
 	Parallel    int          `json:"parallel"`
 	Workers     int          `json:"workers"`
+	GoMaxProcs  int          `json:"go_maxprocs"`
+	NumCPU      int          `json:"num_cpu"`
 	Results     []jsonResult `json:"results"`
 	WallSeconds float64      `json:"wall_s"`
 	CPUSeconds  float64      `json:"experiment_s"`
 	Speedup     float64      `json:"speedup"`
 	Events      uint64       `json:"events"`
 	EventsPerS  float64      `json:"events_per_s"`
+	// PeakPending is the deepest scheduler pending-event set any
+	// simulation reached — the depth the timing wheel absorbed.
+	PeakPending uint64 `json:"peak_pending"`
+	// CacheHits/CacheMisses count point-cache lookups (both zero when
+	// the cache is off).
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
 }
 
 // writeArtifact creates path and streams one observability export into
@@ -107,6 +119,7 @@ func main() {
 		metricsOut  = flag.String("metrics", "", "write sampled time-series metrics to this file (.json for JSON, CSV otherwise; forces -parallel 1)")
 		metricsTick = flag.Duration("metrics-interval", metrics.DefaultInterval, "simulated-time sampling interval for -metrics")
 		profReport  = flag.Bool("profile-report", false, "print the simulated-CPU self-time profile after the runs")
+		pointcache  = flag.String("pointcache", "", "point-result cache: off, mem (in-process only), on (testdata/pointcache), or a directory; IOATSIM_POINTCACHE supplies the default")
 	)
 	flag.Parse()
 
@@ -166,7 +179,26 @@ func main() {
 		*parallel = 1
 	}
 
-	cfg := bench.Config{Seed: *seed, Scale: *scale, Parallel: *parallel, Check: *checked, Obs: obs}
+	// Point-result cache. Each sweep point is memoized under its
+	// content-addressed key; with a directory, cached rows survive across
+	// invocations at the same configuration and code version. The flag
+	// wins over the environment so scripts can force a mode.
+	var cache *sweep.PointCache
+	mode := *pointcache
+	if mode == "" {
+		mode = os.Getenv("IOATSIM_POINTCACHE")
+	}
+	switch mode {
+	case "", "off":
+	case "mem":
+		cache = sweep.NewPointCache("")
+	case "on":
+		cache = sweep.NewPointCache(filepath.Join("testdata", "pointcache"))
+	default:
+		cache = sweep.NewPointCache(mode)
+	}
+
+	cfg := bench.Config{Seed: *seed, Scale: *scale, Parallel: *parallel, Check: *checked, Obs: obs, Cache: cache}
 	runners := bench.Experiments()
 	if *run != "" {
 		runners = runners[:0:0]
@@ -233,17 +265,33 @@ func main() {
 		fmt.Fprint(os.Stderr, obs.Profile.Report())
 	}
 
+	var cacheHits, cacheMisses uint64
+	if cache != nil {
+		cacheHits, cacheMisses = cache.Stats()
+		where := "in-process"
+		if cache.Dir() != "" {
+			where = cache.Dir()
+		}
+		fmt.Fprintf(os.Stderr, "ioatbench: point cache: %d hits, %d misses (%s)\n",
+			cacheHits, cacheMisses, where)
+	}
+
 	if *jsonOut {
 		report := jsonReport{
 			Scale:       *scale,
 			Seed:        *seed,
 			Parallel:    *parallel,
 			Workers:     sweep.Workers(*parallel),
+			GoMaxProcs:  runtime.GOMAXPROCS(0),
+			NumCPU:      runtime.NumCPU(),
 			WallSeconds: wall.Seconds(),
 			CPUSeconds:  cum.Seconds(),
 			Speedup:     speedup,
 			Events:      events,
 			EventsPerS:  eventsPerS,
+			PeakPending: sim.GlobalPeakPending(),
+			CacheHits:   cacheHits,
+			CacheMisses: cacheMisses,
 		}
 		for _, r := range results {
 			s := r.res.Series

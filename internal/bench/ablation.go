@@ -19,12 +19,18 @@ import (
 func AblRSS(cfg Config) *Result {
 	series := stats.NewSeries("Ablation: Multiple Receive Queues (MTU 576)", "Ports",
 		"I/OAT Mbps", "I/OAT-FULL Mbps", "I/OAT core0%", "I/OAT-FULL core0%")
-	type rssRow struct{ linuxMbps, fullMbps, linuxCore0, fullCore0 float64 }
-	rows := points(cfg, 6, func(i int) rssRow {
+	type rssRow struct{ LinuxMbps, FullMbps, LinuxCore0, FullCore0 float64 }
+	params := func() *cost.Params {
+		p := cost.Default()
+		p.MTU = 576
+		return p
+	}
+	rows := points(cfg, 6, func(i int) string {
+		return cfg.key("ablrss", i+1, params())
+	}, func(i int) rssRow {
 		ports := i + 1
 		run := func(feat ioat.Features) (float64, float64) {
-			p := cost.Default()
-			p.MTU = 576
+			p := params()
 			core0 := 0.0
 			res := runMicroWith(p, feat, cfg, func(a, b *host.Node) []stream {
 				var ss []stream
@@ -33,16 +39,16 @@ func AblRSS(cfg Config) *Result {
 				}
 				return ss
 			}, func(a, b *host.Node) { core0 = b.CPU.CoreUtilization(0) })
-			return res.mbps, core0
+			return res.Mbps, core0
 		}
 		var r rssRow
-		r.linuxMbps, r.linuxCore0 = run(ioat.Linux())
-		r.fullMbps, r.fullCore0 = run(ioat.Full())
+		r.LinuxMbps, r.LinuxCore0 = run(ioat.Linux())
+		r.FullMbps, r.FullCore0 = run(ioat.Full())
 		return r
 	})
 	for i, r := range rows {
 		series.Add(float64(i+1), "",
-			r.linuxMbps, r.fullMbps, pct(r.linuxCore0), pct(r.fullCore0))
+			r.LinuxMbps, r.FullMbps, pct(r.LinuxCore0), pct(r.FullCore0))
 	}
 	return &Result{ID: "ablrss", Title: "Ablation: multiple receive queues", Series: series,
 		Notes: []string{"single-queue receive processing saturates core 0 and caps throughput; RSS restores scaling"}}
@@ -56,23 +62,29 @@ func AblPin(cfg Config) *Result {
 	series := stats.NewSeries("Ablation: pinning cost vs DMA benefit (64K copy)", "PinMult",
 		"CPU copy us", "DMA CPU cost us", "DMA wins")
 	mults := []int{0, 1, 2, 4, 8, 16, 32}
-	type pinRow struct{ cpuCopy, dmaCPU time.Duration }
-	rows := points(cfg, len(mults), func(i int) pinRow {
+	type pinRow struct{ CPUCopy, DMACPU time.Duration }
+	params := func(i int) *cost.Params {
 		p := cost.Default()
 		p.PinPerPage = time.Duration(mults[i]) * 150 * time.Nanosecond
+		return p
+	}
+	rows := points(cfg, len(mults), func(i int) string {
+		return cfg.key("ablpin", mults[i], params(i))
+	}, func(i int) pinRow {
+		p := params(i)
 		cl, node, _ := host.Testbed1(p, ioat.Linux(), cfg.Seed, cfg.hostOpts()...)
 		var r pinRow
 		cl.S.Spawn("ablpin", func(pr *sim.Proc) {
 			size := 64 * cost.KB
 			src := node.Buf(size)
 			dst := node.Buf(size)
-			r.cpuCopy = node.Copier.CopySync(pr, src.Addr, dst.Addr, size)
+			r.CPUCopy = node.Copier.CopySync(pr, src.Addr, dst.Addr, size)
 			// Fresh buffers every time: pins never amortize.
 			s2 := node.Buf(size)
 			d2 := node.Buf(size)
 			busy0 := node.CPU.BusyTime()
 			done := node.Copier.Start(pr, s2.Addr, d2.Addr, size)
-			r.dmaCPU = node.CPU.BusyTime() - busy0
+			r.DMACPU = node.CPU.BusyTime() - busy0
 			done.Wait(pr)
 		})
 		cl.S.Run()
@@ -81,11 +93,11 @@ func AblPin(cfg Config) *Result {
 	})
 	for i, r := range rows {
 		wins := 0.0
-		if r.dmaCPU < r.cpuCopy {
+		if r.DMACPU < r.CPUCopy {
 			wins = 1
 		}
 		series.Add(float64(mults[i]), fmt.Sprintf("%dx", mults[i]),
-			us(r.cpuCopy), us(r.dmaCPU), wins)
+			us(r.CPUCopy), us(r.DMACPU), wins)
 	}
 	return &Result{ID: "ablpin", Title: "Ablation: page-pinning cost vs DMA benefit", Series: series,
 		Notes: []string{"paper §7: once pinning exceeds the copy cost, the engine stops paying off"}}
@@ -98,18 +110,23 @@ func AblCoal(cfg Config) *Result {
 	series := stats.NewSeries("Ablation: interrupt coalescing budget", "Frames/intr",
 		"light-load CPU%", "heavy-load CPU%", "light Mbps", "heavy Mbps")
 	budgets := []int{1, 2, 4, 8, 16, 32}
-	type coalRow struct{ light, heavy microResult }
-	rows := points(cfg, len(budgets), func(i int) coalRow {
+	type coalRow struct{ Light, Heavy microResult }
+	params := func(i int) *cost.Params {
+		p := cost.Default()
+		p.CoalesceFrames = budgets[i]
+		return p
+	}
+	rows := points(cfg, len(budgets), func(i int) string {
+		return cfg.key("ablcoal", budgets[i], params(i))
+	}, func(i int) coalRow {
 		run := func(ports int) microResult {
-			p := cost.Default()
-			p.CoalesceFrames = budgets[i]
-			return runMicro(p, ioat.None(), cfg, portStreams(ports, 64*cost.KB, false))
+			return runMicro(params(i), ioat.None(), cfg, portStreams(ports, 64*cost.KB, false))
 		}
-		return coalRow{light: run(1), heavy: run(6)}
+		return coalRow{Light: run(1), Heavy: run(6)}
 	})
 	for i, r := range rows {
 		series.Add(float64(budgets[i]), "",
-			pct(r.light.cpuRecv), pct(r.heavy.cpuRecv), r.light.mbps, r.heavy.mbps)
+			pct(r.Light.CPURecv), pct(r.Heavy.CPURecv), r.Light.Mbps, r.Heavy.Mbps)
 	}
 	return &Result{ID: "ablcoal", Title: "Ablation: interrupt coalescing", Series: series,
 		Notes: []string{"coalescing saves little at light load and a lot at heavy load (paper §2.1)"}}

@@ -42,6 +42,13 @@ type Config struct {
 	// simulations, so callers that set them should also set Parallel to 1;
 	// the profiler alone is safe at any parallelism.
 	Obs host.Observability
+
+	// Cache, when non-nil, memoizes each sweep point's result under its
+	// content-addressed key (sweep.Key over the code version, figure,
+	// point parameters, Seed and Scale), so repeated runs at an identical
+	// configuration skip the simulation. Tables are byte-identical with
+	// or without it — the golden tests pin that.
+	Cache *sweep.PointCache
 }
 
 // hostOpts translates the config into cluster-construction options.
@@ -175,11 +182,13 @@ func (sp stream) launch() {
 	})
 }
 
-// microResult captures one measured configuration.
+// microResult captures one measured configuration. The fields are
+// exported (as in every sweep-row type) so the point cache can gob-
+// encode them.
 type microResult struct {
-	mbps    float64 // goodput delivered during the window
-	cpuRecv float64 // receiver-node utilization (0..1)
-	cpuSend float64 // sender-node utilization (0..1)
+	Mbps    float64 // goodput delivered during the window
+	CPURecv float64 // receiver-node utilization (0..1)
+	CPUSend float64 // sender-node utilization (0..1)
 }
 
 // runMicro builds Testbed 1 with the given features and parameters,
@@ -225,19 +234,39 @@ func runMicroWith(p *cost.Params, feat ioat.Features, cfg Config,
 		post(a, b)
 	}
 	r := microResult{
-		mbps:    mbps,
-		cpuRecv: b.CPU.Utilization(),
-		cpuSend: a.CPU.Utilization(),
+		Mbps:    mbps,
+		CPURecv: b.CPU.Utilization(),
+		CPUSend: a.CPU.Utilization(),
 	}
 	cl.MustVerify()
 	return r
 }
 
+// cacheVersion tags every point-cache key with the simulation code
+// revision. Cached rows are only valid against the code that produced
+// them — the key hashes configurations, not model code — so bump this
+// whenever a change alters any experiment's output (a golden-corpus
+// diff is the signal).
+const cacheVersion = "ioatsim-v6"
+
+// key builds the content-addressed identity of one sweep point from the
+// code version, the figure/point discriminators (which must include the
+// point's cost.Params when the figure adjusts them), and the config
+// fields that reach the tables: Seed and Scale. Parallel, Check, Obs
+// and Cache are deliberately excluded — they change how a run executes
+// or what it records, never what the tables say (the parallel and
+// golden tests pin that property).
+func (c Config) key(kind string, parts ...any) string {
+	return sweep.Key(cacheVersion, kind, c.Seed, c.Scale, parts)
+}
+
 // points runs fn for every point index of a figure, concurrently up to
 // cfg.Parallel workers, and returns the rows in point order. fn must
-// build all of its own state (cluster, cost.Params) per call.
-func points[T any](cfg Config, n int, fn func(i int) T) []T {
-	return sweep.Run(cfg.Parallel, n, fn)
+// build all of its own state (cluster, cost.Params) per call. key gives
+// each point's cache identity (see Config.key); with cfg.Cache unset it
+// is never called.
+func points[T any](cfg Config, n int, key func(i int) string, fn func(i int) T) []T {
+	return sweep.CachedRun(cfg.Cache, cfg.Parallel, n, key, fn)
 }
 
 func pct(x float64) float64 { return x * 100 }

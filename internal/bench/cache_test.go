@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"ioatsim/internal/cost"
+	"ioatsim/internal/host"
+	"ioatsim/internal/sweep"
+	"ioatsim/internal/trace"
+)
+
+// TestPointKeyConfigSensitivity checks which Config fields reach the
+// point-cache key: Seed and Scale must (they change the tables), while
+// Parallel, Check, Obs and Cache must not (they change execution, not
+// outcomes — caching across them is the whole point). The completeness
+// sweep at the end forces this decision for any future Config field.
+func TestPointKeyConfigSensitivity(t *testing.T) {
+	base := Config{Seed: 1, Scale: 0.5, Parallel: 2}
+	k0 := base.key("probe", 7)
+
+	seedCfg := base
+	seedCfg.Seed = 2
+	if seedCfg.key("probe", 7) == k0 {
+		t.Error("changing Seed does not change the point key")
+	}
+	scaleCfg := base
+	scaleCfg.Scale = 0.25
+	if scaleCfg.key("probe", 7) == k0 {
+		t.Error("changing Scale does not change the point key")
+	}
+
+	parCfg := base
+	parCfg.Parallel = 9
+	if parCfg.key("probe", 7) != k0 {
+		t.Error("Parallel must not reach the point key (tables are identical at any setting)")
+	}
+	checkCfg := base
+	checkCfg.Check = true
+	if checkCfg.key("probe", 7) != k0 {
+		t.Error("Check must not reach the point key (the checker never alters outcomes)")
+	}
+	obsCfg := base
+	obsCfg.Obs = host.Observability{Profile: trace.NewProfiler()}
+	if obsCfg.key("probe", 7) != k0 {
+		t.Error("Obs must not reach the point key (observability never alters outcomes)")
+	}
+	cacheCfg := base
+	cacheCfg.Cache = sweep.NewPointCache("")
+	if cacheCfg.key("probe", 7) != k0 {
+		t.Error("Cache must not reach the point key")
+	}
+
+	decided := map[string]bool{
+		"Seed": true, "Scale": true,
+		"Parallel": false, "Check": false, "Obs": false, "Cache": false,
+	}
+	rt := reflect.TypeOf(Config{})
+	for i := 0; i < rt.NumField(); i++ {
+		if _, ok := decided[rt.Field(i).Name]; !ok {
+			t.Errorf("new Config field %q: decide whether it joins the point-cache key and add it to this test",
+				rt.Field(i).Name)
+		}
+	}
+}
+
+// TestPointKeyParamSensitivity flips every cost.Params field and checks
+// the key moves: a sweep that adjusts any cost parameter must never
+// collide with a cached row from a different parameter set.
+func TestPointKeyParamSensitivity(t *testing.T) {
+	k0 := sweep.Key(cost.Default())
+	rt := reflect.TypeOf(cost.Params{})
+	for i := 0; i < rt.NumField(); i++ {
+		name := rt.Field(i).Name
+		p := *cost.Default()
+		f := reflect.ValueOf(&p).Elem().Field(i)
+		switch f.Kind() {
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			f.SetInt(f.Int() + 1)
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			f.SetUint(f.Uint() + 1)
+		case reflect.Float32, reflect.Float64:
+			f.SetFloat(f.Float() + 0.125)
+		case reflect.Bool:
+			f.SetBool(!f.Bool())
+		case reflect.String:
+			f.SetString(f.String() + "x")
+		default:
+			t.Fatalf("cost.Params.%s has kind %s: teach this test to perturb it (and confirm sweep.Key canonicalizes it)",
+				name, f.Kind())
+		}
+		if sweep.Key(&p) == k0 {
+			t.Errorf("flipping cost.Params.%s does not change the key", name)
+		}
+	}
+}
+
+// TestCachedFigureIdentity runs one representative figure cold, then
+// warm from the same cache, and checks the rendered tables are
+// byte-identical and the warm pass computed nothing. (The all-21-runner
+// equivalent runs against the golden corpus in the repo root tests.)
+func TestCachedFigureIdentity(t *testing.T) {
+	cache := sweep.NewPointCache(t.TempDir())
+	cfg := Config{Seed: 1, Scale: 0.05, Check: true, Cache: cache}
+	plain := Fig6(Config{Seed: 1, Scale: 0.05, Check: true}).String()
+	cold := Fig6(cfg).String()
+	warm := Fig6(cfg).String()
+	if cold != plain {
+		t.Error("cold cached run diverges from the uncached table")
+	}
+	if warm != plain {
+		t.Error("warm cached run diverges from the uncached table")
+	}
+	hits, misses := cache.Stats()
+	if misses == 0 || hits != misses {
+		t.Errorf("stats = %d hits, %d misses; want one full cold pass and one full warm pass", hits, misses)
+	}
+}

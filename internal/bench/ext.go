@@ -21,8 +21,10 @@ func Ext3Tier(cfg Config) *Result {
 	series := stats.NewSeries("Extension: 3-tier dynamic content", "DB queries/req",
 		"non-I/OAT TPS", "I/OAT TPS", "TPS benefit%", "app CPU%", "db CPU%")
 	queryCounts := []int{1, 3, 5}
-	type tierRow struct{ plain, accel datacenter.ThreeTierMetrics }
-	rows := points(cfg, len(queryCounts), func(i int) tierRow {
+	type tierRow struct{ Plain, Accel datacenter.ThreeTierMetrics }
+	rows := points(cfg, len(queryCounts), func(i int) string {
+		return cfg.key("ext3tier", queryCounts[i], cost.Default())
+	}, func(i int) tierRow {
 		run := func(feat ioat.Features) datacenter.ThreeTierMetrics {
 			o := datacenter.ThreeTierOptions{Options: dcOptions(cfg, feat)}
 			o.QueriesPerRequest = queryCounts[i]
@@ -33,8 +35,8 @@ func Ext3Tier(cfg Config) *Result {
 	})
 	for i, r := range rows {
 		series.Add(float64(queryCounts[i]), "",
-			r.plain.TPS, r.accel.TPS, pct(gain(r.plain.TPS, r.accel.TPS)),
-			pct(r.accel.AppCPU), pct(r.accel.DBCPU))
+			r.Plain.TPS, r.Accel.TPS, pct(gain(r.Plain.TPS, r.Accel.TPS)),
+			pct(r.Accel.AppCPU), pct(r.Accel.DBCPU))
 	}
 	return &Result{ID: "ext3tier", Title: "Extension: 3-tier dynamic content", Series: series,
 		Notes: []string{"the paper's §5.1 third workload class, not measured there: I/OAT helps the inter-tier hops"}}
@@ -47,8 +49,10 @@ func ExtIPC(cfg Config) *Result {
 	series := stats.NewSeries("Extension: intra-node IPC via the copy engine", "Size",
 		"CPU-copy MB/s", "engine MB/s", "CPU-copy cpu%", "engine cpu%")
 	sizes := []int{4 * cost.KB, 16 * cost.KB, 64 * cost.KB}
-	type ipcRow struct{ cpuMBps, engMBps, cpuUtil, engUtil float64 }
-	rows := points(cfg, len(sizes), func(i int) ipcRow {
+	type ipcRow struct{ CPUMBps, EngMBps, CPUUtil, EngUtil float64 }
+	rows := points(cfg, len(sizes), func(i int) string {
+		return cfg.key("extipc", sizes[i], cost.Default())
+	}, func(i int) ipcRow {
 		size := sizes[i]
 		run := func(mode ipc.Mode) (float64, float64) {
 			cl := host.NewCluster(cost.Default(), cfg.Seed, cfg.hostOpts()...)
@@ -78,13 +82,13 @@ func ExtIPC(cfg Config) *Result {
 			return mbps, util
 		}
 		var r ipcRow
-		r.cpuMBps, r.cpuUtil = run(ipc.CPUCopy)
-		r.engMBps, r.engUtil = run(ipc.EngineCopy)
+		r.CPUMBps, r.CPUUtil = run(ipc.CPUCopy)
+		r.EngMBps, r.EngUtil = run(ipc.EngineCopy)
 		return r
 	})
 	for i, r := range rows {
 		series.Add(float64(sizes[i]), sizeLabel(sizes[i]),
-			r.cpuMBps, r.engMBps, pct(r.cpuUtil), pct(r.engUtil))
+			r.CPUMBps, r.EngMBps, pct(r.CPUUtil), pct(r.EngUtil))
 	}
 	return &Result{ID: "extipc", Title: "Extension: intra-node IPC", Series: series,
 		Notes: []string{

@@ -10,7 +10,7 @@ import (
 )
 
 // pvfsPair is the plain-vs-accelerated PVFS measurement.
-type pvfsPair struct{ plain, accel pvfs.Metrics }
+type pvfsPair struct{ Plain, Accel pvfs.Metrics }
 
 // pvfsOptions builds the shared PVFS options for one run.
 func pvfsOptions(cfg Config, feat ioat.Features) pvfs.Options {
@@ -36,7 +36,9 @@ func pvfsSweep(cfg Config, iods int, write bool, id, title, note string) *Result
 	series := stats.NewSeries(title, "Clients",
 		"non-I/OAT MB/s", "I/OAT MB/s", "tput benefit%",
 		"non-I/OAT "+cpuCol+" CPU%", "I/OAT "+cpuCol+" CPU%", "rel CPU benefit%")
-	rows := points(cfg, 6, func(i int) pvfsPair {
+	rows := points(cfg, 6, func(i int) string {
+		return cfg.key(id, i+1, iods, write, cost.Default())
+	}, func(i int) pvfsPair {
 		run := func(feat ioat.Features) pvfs.Metrics {
 			o := pvfsOptions(cfg, feat)
 			o.IODs = iods
@@ -47,12 +49,12 @@ func pvfsSweep(cfg Config, iods int, write bool, id, title, note string) *Result
 		return pvfsPair{run(ioat.None()), run(ioat.Linux())}
 	})
 	for i, r := range rows {
-		pc, ac := r.plain.ClientCPU, r.accel.ClientCPU
+		pc, ac := r.Plain.ClientCPU, r.Accel.ClientCPU
 		if write {
-			pc, ac = r.plain.ServerCPU, r.accel.ServerCPU
+			pc, ac = r.Plain.ServerCPU, r.Accel.ServerCPU
 		}
 		series.Add(float64(i+1), "",
-			r.plain.MBps, r.accel.MBps, pct(gain(r.plain.MBps, r.accel.MBps)),
+			r.Plain.MBps, r.Accel.MBps, pct(gain(r.Plain.MBps, r.Accel.MBps)),
 			pct(pc), pct(ac), pct(stats.RelativeBenefit(pc, ac)))
 	}
 	return &Result{ID: id, Title: title, Series: series, Notes: []string{note}}
@@ -91,7 +93,9 @@ func Fig12(cfg Config) *Result {
 	series := stats.NewSeries("Fig 12: Multi-Stream PVFS Read", "Clients",
 		"non-I/OAT MB/s", "I/OAT MB/s", "non-I/OAT client CPU%", "I/OAT client CPU%")
 	clientCounts := []int{1, 2, 4, 8, 16, 32, 64}
-	rows := points(cfg, len(clientCounts), func(i int) pvfsPair {
+	rows := points(cfg, len(clientCounts), func(i int) string {
+		return cfg.key("fig12", clientCounts[i], cost.Default())
+	}, func(i int) pvfsPair {
 		run := func(feat ioat.Features) pvfs.Metrics {
 			o := pvfsOptions(cfg, feat)
 			o.IODs = 6
@@ -103,7 +107,7 @@ func Fig12(cfg Config) *Result {
 	})
 	for i, r := range rows {
 		series.Add(float64(clientCounts[i]), "",
-			r.plain.MBps, r.accel.MBps, pct(r.plain.ClientCPU), pct(r.accel.ClientCPU))
+			r.Plain.MBps, r.Accel.MBps, pct(r.Plain.ClientCPU), pct(r.Accel.ClientCPU))
 	}
 	return &Result{ID: "fig12", Title: "PVFS multi-stream read", Series: series,
 		Notes: []string{"paper: I/OAT >= non-I/OAT throughput; client CPU ~10-12% higher with I/OAT (faster request rate)"}}

@@ -12,8 +12,8 @@ import (
 
 // fig6Row is one measured copy size.
 type fig6Row struct {
-	size                               int
-	cached, uncached, dmaTotal, dmaCPU time.Duration
+	Size                               int
+	Cached, Uncached, DMATotal, DMACPU time.Duration
 }
 
 // fig6Point measures one copy size on a fresh Testbed-1 node, so every
@@ -22,19 +22,19 @@ type fig6Row struct {
 // engine.
 func fig6Point(cfg Config, size int) fig6Row {
 	cl, node, _ := host.Testbed1(cost.Default(), ioat.Linux(), cfg.Seed, cfg.hostOpts()...)
-	row := fig6Row{size: size}
+	row := fig6Row{Size: size}
 	cl.S.Spawn("fig6", func(p *sim.Proc) {
 		// copy-cache: warm both buffers first.
 		src := node.Buf(size)
 		dst := node.Buf(size)
 		node.CPU.Exec(p, node.Mem.TouchCost(src.Addr, size))
 		node.CPU.Exec(p, node.Mem.TouchCost(dst.Addr, size))
-		row.cached = node.Copier.CopySync(p, src.Addr, dst.Addr, size)
+		row.Cached = node.Copier.CopySync(p, src.Addr, dst.Addr, size)
 
 		// copy-nocache: fresh, never-touched buffers.
 		csrc := node.Buf(size)
 		cdst := node.Buf(size)
-		row.uncached = node.Copier.CopySync(p, csrc.Addr, cdst.Addr, size)
+		row.Uncached = node.Copier.CopySync(p, csrc.Addr, cdst.Addr, size)
 
 		// DMA copy: CPU-visible setup, engine transfer. A warm-up
 		// round registers (pins) the buffers, as a steady-state
@@ -46,9 +46,9 @@ func fig6Point(cfg Config, size int) fig6Row {
 		start := p.Now()
 		busy0 := node.CPU.BusyTime()
 		done := node.Copier.Start(p, dsrc.Addr, ddst.Addr, size)
-		row.dmaCPU = node.CPU.BusyTime() - busy0
+		row.DMACPU = node.CPU.BusyTime() - busy0
 		done.Wait(p)
-		row.dmaTotal = p.Now().Sub(start)
+		row.DMATotal = p.Now().Sub(start)
 	})
 	cl.S.Run()
 	cl.MustVerify()
@@ -67,17 +67,19 @@ func Fig6(cfg Config) *Result {
 	for size := 1 * cost.KB; size <= 64*cost.KB; size *= 2 {
 		sizes = append(sizes, size)
 	}
-	rows := points(cfg, len(sizes), func(i int) fig6Row {
+	rows := points(cfg, len(sizes), func(i int) string {
+		return cfg.key("fig6", sizes[i], cost.Default())
+	}, func(i int) fig6Row {
 		return fig6Point(cfg, sizes[i])
 	})
 
 	for _, r := range rows {
 		overlap := 0.0
-		if r.dmaTotal > 0 {
-			overlap = float64(r.dmaTotal-r.dmaCPU) / float64(r.dmaTotal)
+		if r.DMATotal > 0 {
+			overlap = float64(r.DMATotal-r.DMACPU) / float64(r.DMATotal)
 		}
-		series.Add(float64(r.size), sizeLabel(r.size),
-			us(r.cached), us(r.uncached), us(r.dmaTotal), us(r.dmaCPU), pct(overlap))
+		series.Add(float64(r.Size), sizeLabel(r.Size),
+			us(r.Cached), us(r.Uncached), us(r.DMATotal), us(r.DMACPU), pct(overlap))
 	}
 	return &Result{ID: "fig6", Title: "CPU-based copy vs DMA-based copy", Series: series,
 		Notes: []string{

@@ -9,7 +9,7 @@ import (
 
 // fig7Row is one message size measured under the three configurations.
 type fig7Row struct {
-	plain, dmaOnly, split microResult
+	Plain, DMAOnly, Split microResult
 }
 
 // fig7Run measures one message size under the three §4.5 configurations:
@@ -38,16 +38,18 @@ func Fig7a(cfg Config) *Result {
 		"non-I/OAT Mbps", "I/OAT-DMA Mbps", "I/OAT-SPLIT Mbps",
 		"DMA CPU benefit%", "Split CPU benefit%")
 	msgs := []int{16 * cost.KB, 32 * cost.KB, 64 * cost.KB, 128 * cost.KB}
-	rows := points(cfg, len(msgs), func(i int) fig7Row {
+	rows := points(cfg, len(msgs), func(i int) string {
+		return cfg.key("fig7a", msgs[i], cost.Default())
+	}, func(i int) fig7Row {
 		plain, dmaOnly, split := fig7Run(cfg, cost.Default(), msgs[i])
 		return fig7Row{plain, dmaOnly, split}
 	})
 	for i, r := range rows {
 		msg := msgs[i]
 		series.Add(float64(msg), sizeLabel(msg),
-			r.plain.mbps, r.dmaOnly.mbps, r.split.mbps,
-			pct(stats.RelativeBenefit(r.plain.cpuRecv, r.dmaOnly.cpuRecv)),
-			pct(stats.RelativeBenefit(r.dmaOnly.cpuRecv, r.split.cpuRecv)))
+			r.Plain.Mbps, r.DMAOnly.Mbps, r.Split.Mbps,
+			pct(stats.RelativeBenefit(r.Plain.CPURecv, r.DMAOnly.CPURecv)),
+			pct(stats.RelativeBenefit(r.DMAOnly.CPURecv, r.Split.CPURecv)))
 	}
 	return &Result{ID: "fig7a", Title: "I/OAT split-up: CPU benefit", Series: series,
 		Notes: []string{"paper: DMA engine ~16% relative CPU benefit, split-header ~0 at these sizes"}}
@@ -62,18 +64,23 @@ func Fig7b(cfg Config) *Result {
 		"non-I/OAT Mbps", "I/OAT-DMA Mbps", "I/OAT-SPLIT Mbps",
 		"DMA tput benefit%", "Split tput benefit%")
 	msgs := []int{cost.MB, 2 * cost.MB, 4 * cost.MB, 8 * cost.MB}
-	rows := points(cfg, len(msgs), func(i int) fig7Row {
+	params := func() *cost.Params {
 		p := cost.Default()
 		p.SockBuf = cost.MB // large-message runs need deep socket buffers
-		plain, dmaOnly, split := fig7Run(cfg, p, msgs[i])
+		return p
+	}
+	rows := points(cfg, len(msgs), func(i int) string {
+		return cfg.key("fig7b", msgs[i], params())
+	}, func(i int) fig7Row {
+		plain, dmaOnly, split := fig7Run(cfg, params(), msgs[i])
 		return fig7Row{plain, dmaOnly, split}
 	})
 	for i, r := range rows {
 		msg := msgs[i]
 		series.Add(float64(msg), sizeLabel(msg),
-			r.plain.mbps, r.dmaOnly.mbps, r.split.mbps,
-			pct(gain(r.plain.mbps, r.dmaOnly.mbps)),
-			pct(gain(r.dmaOnly.mbps, r.split.mbps)))
+			r.Plain.Mbps, r.DMAOnly.Mbps, r.Split.Mbps,
+			pct(gain(r.Plain.Mbps, r.DMAOnly.Mbps)),
+			pct(gain(r.DMAOnly.Mbps, r.Split.Mbps)))
 	}
 	return &Result{ID: "fig7b", Title: "I/OAT split-up: throughput", Series: series,
 		Notes: []string{"paper: split-header up to ~26% throughput benefit at 1M, shrinking with size"}}

@@ -11,7 +11,7 @@ import (
 )
 
 // dcPair is the plain-vs-accelerated data-center measurement.
-type dcPair struct{ plain, accel datacenter.Metrics }
+type dcPair struct{ Plain, Accel datacenter.Metrics }
 
 // dcOptions builds the shared data-center options for one run. The
 // warm-up has a fixed floor: dozens of client connections need tens of
@@ -41,7 +41,9 @@ func Fig8a(cfg Config) *Result {
 	series := stats.NewSeries("Fig 8a: Single-File Traces", "Trace",
 		"non-I/OAT TPS", "I/OAT TPS", "TPS benefit%", "proxyCPU-non%", "proxyCPU-ioat%")
 	sizes := []int{2 * cost.KB, 4 * cost.KB, 6 * cost.KB, 8 * cost.KB, 10 * cost.KB}
-	rows := points(cfg, len(sizes), func(i int) dcPair {
+	rows := points(cfg, len(sizes), func(i int) string {
+		return cfg.key("fig8a", sizes[i], cost.Default())
+	}, func(i int) dcPair {
 		run := func(feat ioat.Features) datacenter.Metrics {
 			o := dcOptions(cfg, feat)
 			o.FileCount = 1
@@ -52,8 +54,8 @@ func Fig8a(cfg Config) *Result {
 	})
 	for i, r := range rows {
 		series.Add(float64(i+1), fmt.Sprintf("Trace %d (%s)", i+1, sizeLabel(sizes[i])),
-			r.plain.TPS, r.accel.TPS, pct(gain(r.plain.TPS, r.accel.TPS)),
-			pct(r.plain.ProxyCPU), pct(r.accel.ProxyCPU))
+			r.Plain.TPS, r.Accel.TPS, pct(gain(r.Plain.TPS, r.Accel.TPS)),
+			pct(r.Plain.ProxyCPU), pct(r.Accel.ProxyCPU))
 	}
 	return &Result{ID: "fig8a", Title: "Data-center TPS: single-file traces", Series: series,
 		Notes: []string{"paper: I/OAT wins all traces, peak ~14% at 4K (9754 vs 8569 TPS)"}}
@@ -65,7 +67,9 @@ func Fig8b(cfg Config) *Result {
 	series := stats.NewSeries("Fig 8b: Zipf Traces", "Alpha",
 		"non-I/OAT TPS", "I/OAT TPS", "TPS benefit%")
 	alphas := []float64{0.95, 0.9, 0.75, 0.5}
-	rows := points(cfg, len(alphas), func(i int) dcPair {
+	rows := points(cfg, len(alphas), func(i int) string {
+		return cfg.key("fig8b", alphas[i], cost.Default())
+	}, func(i int) dcPair {
 		run := func(feat ioat.Features) datacenter.Metrics {
 			o := dcOptions(cfg, feat)
 			o.FileCount = 1000
@@ -78,7 +82,7 @@ func Fig8b(cfg Config) *Result {
 	})
 	for i, r := range rows {
 		series.Add(alphas[i], fmt.Sprintf("a=%.2f", alphas[i]),
-			r.plain.TPS, r.accel.TPS, pct(gain(r.plain.TPS, r.accel.TPS)))
+			r.Plain.TPS, r.Accel.TPS, pct(gain(r.Plain.TPS, r.Accel.TPS)))
 	}
 	return &Result{ID: "fig8b", Title: "Data-center TPS: Zipf traces", Series: series,
 		Notes: []string{"paper: I/OAT up to ~11% TPS benefit across alphas"}}
@@ -91,7 +95,9 @@ func Fig9(cfg Config) *Result {
 	series := stats.NewSeries("Fig 9: Emulated Clients (16K file)", "Threads",
 		"non-I/OAT TPS", "I/OAT TPS", "non-I/OAT CPU%", "I/OAT CPU%", "TPS benefit%")
 	threadCounts := []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
-	rows := points(cfg, len(threadCounts), func(i int) dcPair {
+	rows := points(cfg, len(threadCounts), func(i int) string {
+		return cfg.key("fig9", threadCounts[i], cost.Default())
+	}, func(i int) dcPair {
 		run := func(feat ioat.Features) datacenter.Metrics {
 			o := dcOptions(cfg, feat)
 			o.FileCount = 1
@@ -102,8 +108,8 @@ func Fig9(cfg Config) *Result {
 	})
 	for i, r := range rows {
 		series.Add(float64(threadCounts[i]), "",
-			r.plain.TPS, r.accel.TPS, pct(r.plain.ClientCPU), pct(r.accel.ClientCPU),
-			pct(gain(r.plain.TPS, r.accel.TPS)))
+			r.Plain.TPS, r.Accel.TPS, pct(r.Plain.ClientCPU), pct(r.Accel.ClientCPU),
+			pct(gain(r.Plain.TPS, r.Accel.TPS)))
 	}
 	return &Result{ID: "fig9", Title: "Data-center TPS vs emulated clients", Series: series,
 		Notes: []string{

@@ -10,7 +10,7 @@ import (
 )
 
 // pair is the plain-vs-accelerated measurement most figures sweep.
-type pair struct{ plain, accel microResult }
+type pair struct{ Plain, Accel microResult }
 
 // measurePair runs the same stream layout without and with I/OAT.
 // p builds a fresh parameter set per call so concurrent points never
@@ -18,8 +18,8 @@ type pair struct{ plain, accel microResult }
 func measurePair(p func() *cost.Params, cfg Config,
 	build func(a, b *host.Node) []stream) pair {
 	return pair{
-		plain: runMicro(p(), ioat.None(), cfg, build),
-		accel: runMicro(p(), ioat.Linux(), cfg, build),
+		Plain: runMicro(p(), ioat.None(), cfg, build),
+		Accel: runMicro(p(), ioat.Linux(), cfg, build),
 	}
 }
 
@@ -44,13 +44,15 @@ func portStreams(ports, msg int, bidir bool) func(a, b *host.Node) []stream {
 func Fig3a(cfg Config) *Result {
 	series := stats.NewSeries("Fig 3a: Bandwidth", "Ports",
 		"non-I/OAT Mbps", "I/OAT Mbps", "non-I/OAT CPU%", "I/OAT CPU%", "rel CPU benefit%")
-	rows := points(cfg, 6, func(i int) pair {
+	rows := points(cfg, 6, func(i int) string {
+		return cfg.key("fig3a", i+1, cost.Default())
+	}, func(i int) pair {
 		return measurePair(cost.Default, cfg, portStreams(i+1, 64*cost.KB, false))
 	})
 	for i, r := range rows {
 		series.Add(float64(i+1), "",
-			r.plain.mbps, r.accel.mbps, pct(r.plain.cpuRecv), pct(r.accel.cpuRecv),
-			pct(stats.RelativeBenefit(r.plain.cpuRecv, r.accel.cpuRecv)))
+			r.Plain.Mbps, r.Accel.Mbps, pct(r.Plain.CPURecv), pct(r.Accel.CPURecv),
+			pct(stats.RelativeBenefit(r.Plain.CPURecv, r.Accel.CPURecv)))
 	}
 	return &Result{ID: "fig3a", Title: "Bandwidth vs. ports", Series: series,
 		Notes: []string{"paper: ~5635 Mbps at 6 ports; CPU 37% vs 29% (~21% relative)"}}
@@ -61,13 +63,15 @@ func Fig3a(cfg Config) *Result {
 func Fig3b(cfg Config) *Result {
 	series := stats.NewSeries("Fig 3b: Bi-directional Bandwidth", "Ports",
 		"non-I/OAT Mbps", "I/OAT Mbps", "non-I/OAT CPU%", "I/OAT CPU%", "rel CPU benefit%")
-	rows := points(cfg, 6, func(i int) pair {
+	rows := points(cfg, 6, func(i int) string {
+		return cfg.key("fig3b", i+1, cost.Default())
+	}, func(i int) pair {
 		return measurePair(cost.Default, cfg, portStreams(i+1, 64*cost.KB, true))
 	})
 	for i, r := range rows {
 		series.Add(float64(i+1), "",
-			r.plain.mbps, r.accel.mbps, pct(r.plain.cpuRecv), pct(r.accel.cpuRecv),
-			pct(stats.RelativeBenefit(r.plain.cpuRecv, r.accel.cpuRecv)))
+			r.Plain.Mbps, r.Accel.Mbps, pct(r.Plain.CPURecv), pct(r.Accel.CPURecv),
+			pct(stats.RelativeBenefit(r.Plain.CPURecv, r.Accel.CPURecv)))
 	}
 	return &Result{ID: "fig3b", Title: "Bi-directional bandwidth vs. ports", Series: series,
 		Notes: []string{"paper: ~9600 Mbps at 6 ports; CPU ~90% vs ~70% (~22% relative)"}}
@@ -80,7 +84,9 @@ func Fig4(cfg Config) *Result {
 	series := stats.NewSeries("Fig 4: Multi-Stream Bandwidth", "Threads",
 		"non-I/OAT Mbps", "I/OAT Mbps", "non-I/OAT CPU%", "I/OAT CPU%", "rel CPU benefit%")
 	threadCounts := []int{1, 2, 4, 6, 8, 10, 12}
-	rows := points(cfg, len(threadCounts), func(i int) pair {
+	rows := points(cfg, len(threadCounts), func(i int) string {
+		return cfg.key("fig4", threadCounts[i], cost.Default())
+	}, func(i int) pair {
 		threads := threadCounts[i]
 		return measurePair(cost.Default, cfg, func(a, b *host.Node) []stream {
 			var ss []stream
@@ -92,8 +98,8 @@ func Fig4(cfg Config) *Result {
 	})
 	for i, r := range rows {
 		series.Add(float64(threadCounts[i]), "",
-			r.plain.mbps, r.accel.mbps, pct(r.plain.cpuRecv), pct(r.accel.cpuRecv),
-			pct(stats.RelativeBenefit(r.plain.cpuRecv, r.accel.cpuRecv)))
+			r.Plain.Mbps, r.Accel.Mbps, pct(r.Plain.CPURecv), pct(r.Accel.CPURecv),
+			pct(stats.RelativeBenefit(r.Plain.CPURecv, r.Accel.CPURecv)))
 	}
 	return &Result{ID: "fig4", Title: "Multi-stream bandwidth vs. threads", Series: series,
 		Notes: []string{"paper: at 12 threads CPU 76% vs 52% (~32% relative); non-I/OAT throughput degrades"}}
@@ -146,13 +152,15 @@ func fig5(cfg Config, bidir bool, id, title, note string) *Result {
 	series := stats.NewSeries(title, "Case",
 		"non-I/OAT Mbps", "I/OAT Mbps", "non-I/OAT CPU%", "I/OAT CPU%", "rel CPU benefit%")
 	cases := socketCases()
-	rows := points(cfg, len(cases), func(i int) pair {
+	rows := points(cfg, len(cases), func(i int) string {
+		return cfg.key("fig5", bidir, i+1, cases[i].p())
+	}, func(i int) pair {
 		return measurePair(cases[i].p, cfg, portStreams(6, 64*cost.KB, bidir))
 	})
 	for i, r := range rows {
 		series.Add(float64(i+1), fmt.Sprintf("Case %d", i+1),
-			r.plain.mbps, r.accel.mbps, pct(r.plain.cpuRecv), pct(r.accel.cpuRecv),
-			pct(stats.RelativeBenefit(r.plain.cpuRecv, r.accel.cpuRecv)))
+			r.Plain.Mbps, r.Accel.Mbps, pct(r.Plain.CPURecv), pct(r.Accel.CPURecv),
+			pct(stats.RelativeBenefit(r.Plain.CPURecv, r.Accel.CPURecv)))
 	}
 	return &Result{ID: id, Title: title, Series: series, Notes: []string{note}}
 }

@@ -37,6 +37,24 @@ func BenchmarkScheduleDepth64(b *testing.B) {
 	}
 }
 
+// BenchmarkScheduleDepth64k keeps 64k events pending — the deep-queue
+// shape the data-center and PVFS sweeps build. A comparison-ordered heap
+// pays O(log n) cache-missing sifts per operation here; the wheel stays
+// amortized O(1) regardless of depth.
+func BenchmarkScheduleDepth64k(b *testing.B) {
+	s := New()
+	fn := func() {}
+	for i := 0; i < 64*1024; i++ {
+		s.Schedule(time.Duration(i+1)*time.Microsecond, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(70*time.Millisecond, fn)
+		s.Step()
+	}
+}
+
 // BenchmarkRunHotLoop measures the event loop proper: a self-rescheduling
 // event chain dispatched by RunUntil, the pattern every NIC, link and CPU
 // model follows. One closure serves the whole run, so allocs/op must be 0.

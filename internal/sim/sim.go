@@ -7,12 +7,15 @@
 // event loop, so every run is deterministic.
 //
 // The pending set is the engine's hottest structure: every simulated
-// frame, interrupt, copy and wake-up passes through it once. It is an
-// index-based 4-ary min-heap over a value arena with a free-list, so the
-// steady state allocates nothing per event: arena slots and heap capacity
-// are recycled, and sift operations move 4-byte indices instead of
-// interface values. (The previous container/heap implementation paid one
-// *event allocation plus an interface conversion per Schedule.)
+// frame, interrupt, copy and wake-up passes through it once. It is a
+// hierarchical timing wheel (see wheel.go) over a value arena with a
+// free-list, so the steady state allocates nothing per event — arena
+// slots and bucket capacity are recycled — and schedule/dispatch stay
+// amortized O(1) however deep the pending set grows. Dispatch order is
+// strictly (time, sequence): the wheel lazily sorts each one-tick bucket
+// by sequence number before draining it, so outcomes are byte-identical
+// to a totally ordered heap. (Earlier engines paid O(log n) heap sifts
+// per event, and before that one *event allocation per Schedule.)
 package sim
 
 import (
@@ -30,6 +33,16 @@ var globalExecuted atomic.Uint64
 // GlobalExecuted reports the total events dispatched by all simulators
 // in this process so far.
 func GlobalExecuted() uint64 { return globalExecuted.Load() }
+
+// globalPeakPending is the deepest pending-event set any simulator in
+// the process has reached, flushed on the same cadence as
+// globalExecuted. It feeds benchmark reports (scheduler depth is what
+// distinguishes the wheel from a heap); outcomes never depend on it.
+var globalPeakPending atomic.Uint64
+
+// GlobalPeakPending reports the deepest pending-event set reached by
+// any simulator in this process so far.
+func GlobalPeakPending() uint64 { return globalPeakPending.Load() }
 
 // Time is a virtual timestamp in nanoseconds since the start of the run.
 type Time int64
@@ -159,11 +172,35 @@ type Simulator struct {
 	procProbe ProcProbe
 
 	// Pending-event storage. events is the arena; free lists arena slots
-	// ready for reuse; heap is a 4-ary min-heap of arena indices ordered
-	// by the events' (at, seq).
+	// ready for reuse; the remaining fields are the hierarchical timing
+	// wheel that orders arena indices by the events' (at, seq) — see
+	// wheel.go.
 	events []event
 	free   []int32
-	heap   []int32
+
+	// wheel holds pending arena indices bucketed by dispatch time; occ
+	// is each level's bucket-occupancy bitmap. overflow collects events
+	// beyond the wheel horizon (ovfMin tracks their minimum time), and
+	// pending counts every undispatched event wherever it is filed.
+	wheel    [numLevels][numSlots][]int32
+	occ      [numLevels]uint64
+	overflow []int32
+	ovfMin   Time
+	pending  int
+	// base is the wheel's reference time: every level's slot windows
+	// are anchored at it, and it never exceeds the earliest pending
+	// event. It can run ahead of the clock (see wheel.go).
+	base int64
+
+	// ready is the materialized dispatch bucket: the earliest one-tick
+	// bucket, sorted by sequence number, drained from readyHead. All its
+	// events share timestamp readyAt.
+	ready     []int32
+	readyHead int
+	readyAt   Time
+
+	// stats tracks scheduler high-water marks (never outcome-affecting).
+	stats SchedStats
 
 	// Process scheduling handshake. While a process goroutine runs, the
 	// event loop blocks on parked, so exactly one goroutine ever touches
@@ -185,11 +222,18 @@ func (s *Simulator) flushExecuted() {
 		globalExecuted.Add(d)
 		s.flushed = s.executed
 	}
+	for p := uint64(s.stats.PeakPending); ; {
+		cur := globalPeakPending.Load()
+		if p <= cur || globalPeakPending.CompareAndSwap(cur, p) {
+			break
+		}
+	}
 }
 
 // New returns an empty simulator with the clock at zero.
 func New(opts ...Option) *Simulator {
 	s := &Simulator{parked: make(chan struct{})}
+	s.initWheel()
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -208,7 +252,7 @@ func (s *Simulator) InstalledProbe() Probe { return s.probe }
 func (s *Simulator) Executed() uint64 { return s.executed }
 
 // Pending reports how many events are scheduled but not yet dispatched.
-func (s *Simulator) Pending() int { return len(s.heap) }
+func (s *Simulator) Pending() int { return s.pending }
 
 // Schedule arranges for fn to run after delay d. A negative delay panics:
 // simulated time cannot move backwards.
@@ -263,81 +307,11 @@ func (s *Simulator) push(t Time, fn func(), argFn func(any), arg any) {
 	}
 	s.seq++
 	s.events[idx] = event{at: t, seq: s.seq, fn: fn, argFn: argFn, arg: arg}
-	s.heap = append(s.heap, idx)
-	s.siftUp(len(s.heap) - 1)
-}
-
-// less orders arena slots by (at, seq).
-func (s *Simulator) less(a, b int32) bool {
-	ea, eb := &s.events[a], &s.events[b]
-	if ea.at != eb.at {
-		return ea.at < eb.at
-	}
-	return ea.seq < eb.seq
-}
-
-// siftUp restores heap order after appending at position i.
-func (s *Simulator) siftUp(i int) {
-	h := s.heap
-	v := h[i]
-	for i > 0 {
-		p := (i - 1) / 4
-		if !s.less(v, h[p]) {
-			break
-		}
-		h[i] = h[p]
-		i = p
-	}
-	h[i] = v
-}
-
-// siftDown restores heap order after replacing the root.
-func (s *Simulator) siftDown() {
-	h := s.heap
-	n := len(h)
-	v := h[0]
-	i := 0
-	for {
-		c := i*4 + 1
-		if c >= n {
-			break
-		}
-		best := c
-		for k := c + 1; k < min(c+4, n); k++ {
-			if s.less(h[k], h[best]) {
-				best = k
-			}
-		}
-		if !s.less(h[best], v) {
-			break
-		}
-		h[i] = h[best]
-		i = best
-	}
-	h[i] = v
-}
-
-// pop removes the earliest event, releases its arena slot, and returns
-// its timestamp and callback fields (exactly one of fn and argFn is
-// non-nil). The heap must be non-empty.
-func (s *Simulator) pop() (at Time, fn func(), argFn func(any), arg any) {
-	idx := s.heap[0]
-	n := len(s.heap) - 1
-	s.heap[0] = s.heap[n]
-	s.heap = s.heap[:n]
-	if n > 0 {
-		s.siftDown()
-	}
-	e := &s.events[idx]
-	at, fn, argFn, arg = e.at, e.fn, e.argFn, e.arg
-	// Release the callback and argument; the slot is dead until reused.
-	e.fn, e.argFn, e.arg = nil, nil, nil
-	s.free = append(s.free, idx)
-	return at, fn, argFn, arg
+	s.enqueue(idx, t)
 }
 
 // Stop makes Run return after the current event completes. Pending events
-// stay in the heap; a subsequent Run resumes them.
+// stay queued; a subsequent Run resumes them.
 func (s *Simulator) Stop() { s.stopped = true }
 
 // Run dispatches events in (time, sequence) order until the heap is empty
@@ -352,8 +326,8 @@ func (s *Simulator) Run() Time {
 func (s *Simulator) RunUntil(deadline Time) Time {
 	s.stopped = false
 	defer s.flushExecuted()
-	for len(s.heap) > 0 && !s.stopped {
-		if s.events[s.heap[0]].at > deadline {
+	for s.pending > 0 && !s.stopped {
+		if at, _ := s.peekAt(); at > deadline {
 			s.now = deadline
 			return s.now
 		}
@@ -378,7 +352,7 @@ func (s *Simulator) RunUntil(deadline Time) Time {
 // Step dispatches exactly one event if any is pending and reports whether
 // it did so.
 func (s *Simulator) Step() bool {
-	if len(s.heap) == 0 {
+	if s.pending == 0 {
 		return false
 	}
 	at, fn, argFn, arg := s.pop()

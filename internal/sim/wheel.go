@@ -1,0 +1,460 @@
+// The pending-event set: a hierarchical timing wheel (calendar queue).
+//
+// Events live in a value arena (sim.go); the wheel orders arena indices
+// by dispatch time. It has numLevels levels of numSlots buckets each:
+// level 0 buckets are one nanosecond-tick wide, and each higher level's
+// buckets are numSlots times wider than the level below, so eight levels
+// cover 2^48 ns (~3.3 simulated days) ahead of the clock; anything
+// beyond that waits in an unsorted overflow list. An event scheduled
+// delta ns ahead is appended to the level whose bucket width brackets
+// delta, at the slot its absolute time hashes to — O(1), no comparisons.
+//
+// All placement and lookup is anchored at the wheel's reference time
+// `base`, not the simulation clock: base only moves forward when the
+// wheel proves no pending event precedes the new value (and, rarely,
+// rewinds via a full rebuild — see rebase). Anchoring at base keeps
+// every level-l event inside [base, base + numSlots*width_l), which is
+// what makes the absolute slot index decodable back to a unique time
+// range. The clock itself may trail base after a RunUntil deadline cut.
+//
+// Dispatch drains one level-0 bucket at a time through `ready`. Because
+// level-0 buckets are one tick wide, every event in a bucket shares the
+// same timestamp, so lazily sorting the bucket by sequence number on
+// materialization restores the engine's strict (at, seq) FIFO order
+// exactly — the wheel is byte-for-byte equivalent to a total-order heap.
+// When level 0 runs dry, the earliest higher-level bucket is cascaded:
+// its events are redistributed to lower levels anchored at the bucket's
+// range start, each event moving at most numLevels-1 times over its
+// lifetime, which keeps schedule+dispatch amortized O(1) regardless of
+// how deep the pending set grows. (The previous 4-ary index min-heap
+// paid O(log n) sifts with cache-missing comparisons per operation on
+// the deep queues the data-center and PVFS figures build.)
+package sim
+
+import "math/bits"
+
+const (
+	levelBits = 6
+	numSlots  = 1 << levelBits // 64 buckets per level
+	slotMask  = numSlots - 1
+	numLevels = 8
+	// horizon is how far ahead of base the wheel can hold an event;
+	// anything further goes to the overflow list.
+	horizon = int64(1) << (levelBits * numLevels)
+)
+
+// SchedStats are scheduler high-water marks, for capacity planning and
+// benchmark reporting. They never influence simulation outcomes.
+type SchedStats struct {
+	// PeakPending is the most events ever pending at once.
+	PeakPending int
+	// PeakBucket is the largest single-bucket occupancy ever reached.
+	PeakBucket int
+	// Cascades counts event moves between wheel levels: the amortized
+	// redistribution work the wheel does instead of per-event sifts.
+	Cascades uint64
+}
+
+// SchedStats returns the scheduler's high-water statistics.
+func (s *Simulator) SchedStats() SchedStats { return s.stats }
+
+// rotr rotates x right by k bits.
+func rotr(x uint64, k uint) uint64 { return bits.RotateLeft64(x, -int(k)) }
+
+// initWheel seeds every slot with a small bucket carved from one shared
+// backing array. Without this, each slot's first append allocates — and
+// since slots hash absolute time, long simulations keep first-touching
+// fresh high-level slots as the clock rolls forward, which would leak
+// allocations into the steady state the packet-path benchmark pins at
+// zero. Buckets that outgrow the seed capacity reallocate once and keep
+// the larger array thereafter (take0 and the cascades recycle backing
+// arrays rather than discard them).
+func (s *Simulator) initWheel() {
+	const seedCap = 4
+	backing := make([]int32, numLevels*numSlots*seedCap)
+	for l := 0; l < numLevels; l++ {
+		for sl := 0; sl < numSlots; sl++ {
+			off := (l*numSlots + sl) * seedCap
+			s.wheel[l][sl] = backing[off : off : off+seedCap]
+		}
+	}
+}
+
+// enqueue files an arena index into the pending set. The event's time
+// must not precede the current clock (push checks).
+func (s *Simulator) enqueue(idx int32, t Time) {
+	s.pending++
+	if s.pending > s.stats.PeakPending {
+		s.stats.PeakPending = s.pending
+	}
+	if s.readyHead < len(s.ready) {
+		// A live dispatch bucket is open. Same-tick events append to it
+		// directly (their sequence numbers are larger than everything
+		// already there, so order is preserved); an earlier event —
+		// possible only between runs, after a RunUntil deadline froze a
+		// materialized bucket — demotes the bucket back into the wheel.
+		if t == s.readyAt {
+			s.ready = append(s.ready, idx)
+			if len(s.ready) > s.stats.PeakBucket {
+				s.stats.PeakBucket = len(s.ready)
+			}
+			return
+		}
+	} else if s.pending == 1 {
+		// The only event anywhere: materialize it as the dispatch bucket
+		// directly. Single-event chains (every NIC, link and CPU model
+		// reschedules itself this way) never touch the wheel at all.
+		s.ready = append(s.ready[:0], idx)
+		s.readyHead = 0
+		s.readyAt = t
+		return
+	}
+	if int64(t) < s.base {
+		// The wheel reference ran ahead of this event (possible only
+		// after a deadline cut rewound the clock below base): rewind.
+		s.rebase()
+	}
+	if s.readyHead < len(s.ready) && t < s.readyAt {
+		s.demoteReady()
+	}
+	s.place(idx, t, s.base)
+}
+
+// place files idx at the wheel level whose bucket width brackets
+// delta = t - ref, at the slot t's absolute time hashes to. ref is the
+// wheel base for fresh events and the start of the source bucket's
+// range for cascaded ones; either way ref never exceeds base, which
+// keeps every event inside its level's base-anchored window and the
+// absolute slot index unambiguous.
+func (s *Simulator) place(idx int32, t Time, ref int64) {
+	delta := int64(t) - ref
+	if delta >= horizon {
+		if len(s.overflow) == 0 || t < s.ovfMin {
+			s.ovfMin = t
+		}
+		s.overflow = append(s.overflow, idx)
+		return
+	}
+	level := 0
+	if delta > 0 {
+		level = (bits.Len64(uint64(delta)) - 1) / levelBits
+	}
+	slot := (int64(t) >> (levelBits * level)) & slotMask
+	b := append(s.wheel[level][slot], idx)
+	s.wheel[level][slot] = b
+	s.occ[level] |= 1 << uint(slot)
+	if len(b) > s.stats.PeakBucket {
+		s.stats.PeakBucket = len(b)
+	}
+}
+
+// rebase rewinds the wheel reference to the current clock and re-files
+// every wheel-resident event against the new anchor. Only reachable
+// when a RunUntil deadline left the clock behind base and a new event
+// was then scheduled into the gap — rare, so a linear rebuild is fine.
+func (s *Simulator) rebase() {
+	s.base = int64(s.now)
+	var all []int32
+	for l := 0; l < numLevels; l++ {
+		m := s.occ[l]
+		for m != 0 {
+			sl := bits.TrailingZeros64(m)
+			m &^= 1 << uint(sl)
+			all = append(all, s.wheel[l][sl]...)
+			s.wheel[l][sl] = s.wheel[l][sl][:0]
+		}
+		s.occ[l] = 0
+	}
+	for _, idx := range all {
+		s.place(idx, s.events[idx].at, s.base)
+	}
+}
+
+// demoteReady returns a materialized-but-undispatched bucket to the
+// wheel. Only needed when an event earlier than the open bucket arrives,
+// which can happen only between Run calls.
+func (s *Simulator) demoteReady() {
+	for _, idx := range s.ready[s.readyHead:] {
+		s.place(idx, s.readyAt, s.base)
+	}
+	s.ready = s.ready[:0]
+	s.readyHead = 0
+}
+
+// migrateOverflow moves every overflow event now within the wheel's
+// horizon into the wheel and recomputes the overflow minimum.
+func (s *Simulator) migrateOverflow() {
+	rest := s.overflow[:0]
+	rm := maxTime
+	for _, idx := range s.overflow {
+		t := s.events[idx].at
+		if int64(t)-s.base < horizon {
+			s.place(idx, t, s.base)
+			continue
+		}
+		if t < rm {
+			rm = t
+		}
+		rest = append(rest, idx)
+	}
+	s.overflow = rest
+	s.ovfMin = rm
+}
+
+// readyFromOverflow materializes the earliest overflow events directly
+// (only reachable when the wheels are empty and every pending event is
+// beyond the horizon — pathological for real workloads, linear is fine).
+func (s *Simulator) readyFromOverflow() {
+	tmin := maxTime
+	for _, idx := range s.overflow {
+		if t := s.events[idx].at; t < tmin {
+			tmin = t
+		}
+	}
+	rest := s.overflow[:0]
+	s.ready = s.ready[:0]
+	s.readyHead = 0
+	rm := maxTime
+	for _, idx := range s.overflow {
+		t := s.events[idx].at
+		if t == tmin {
+			s.ready = append(s.ready, idx)
+			continue
+		}
+		if t < rm {
+			rm = t
+		}
+		rest = append(rest, idx)
+	}
+	s.overflow = rest
+	s.ovfMin = rm
+	s.readyAt = tmin
+	s.base = int64(tmin)
+	s.sortReady()
+}
+
+// refill materializes the next dispatch bucket into ready: the earliest
+// level-0 bucket, after cascading down any higher-level bucket whose
+// time range starts earlier. Reports false when nothing is pending. It
+// advances the wheel base but never the clock.
+func (s *Simulator) refill() bool {
+	if s.pending == 0 {
+		return false
+	}
+	for {
+		// Exact earliest level-0 tick. Every occupied level-0 slot maps
+		// to a tick in [base, base+numSlots), so rotating the occupancy
+		// bitmap by the base's slot yields distances from the base.
+		c0 := int64(-1)
+		if r := rotr(s.occ[0], uint(s.base)&slotMask); r != 0 {
+			c0 = s.base + int64(bits.TrailingZeros64(r))
+		}
+		// Earliest higher-level bucket, by range start. Every occupied
+		// level-l slot maps to a bucket range starting within
+		// [base-width, base+horizon_l) — the same rotation decodes it.
+		bestL, bestSlot, tie := -1, 0, false
+		var bestB int64
+		for l := 1; l < numLevels; l++ {
+			m := s.occ[l]
+			if m == 0 {
+				continue
+			}
+			cur := s.base >> (levelBits * l)
+			d := int64(bits.TrailingZeros64(rotr(m, uint(cur)&slotMask)))
+			if B := (cur + d) << (levelBits * l); bestL < 0 || B < bestB {
+				bestL, bestSlot, bestB, tie = l, int((cur+d)&slotMask), B, false
+			} else if B == bestB {
+				// A wider bucket starts at the same instant; its events
+				// overlap the chosen bucket's whole range.
+				tie = true
+			}
+		}
+		cand := c0
+		if bestL >= 0 && (cand < 0 || bestB < cand) {
+			cand = bestB
+		}
+		if cand < 0 {
+			// Wheels empty but events pending: all in overflow, beyond
+			// the horizon.
+			s.readyFromOverflow()
+			return true
+		}
+		if len(s.overflow) > 0 && int64(s.ovfMin) <= cand {
+			// An overflow event may precede the wheel candidate (the
+			// base advanced since it was filed): pull it in first.
+			s.migrateOverflow()
+			continue
+		}
+		if c0 >= 0 && (bestL < 0 || c0 < bestB) {
+			// The level-0 bucket is strictly earliest.
+			s.take0(c0)
+			return true
+		}
+		if bestL == 1 && !tie && c0 < 0 {
+			// Level 0 is empty and every other bucket's range starts at
+			// or past bestB+numSlots, so this one-bucket-width range is
+			// ahead of everything. (With level 0 occupied its window
+			// [base, base+numSlots) can straddle bestB, putting c0
+			// inside the bucket's range — cascade normally then.) If
+			// the members share a single tick inside the range (they
+			// almost always do: sparse queues put one event per
+			// level-1 bucket), dispatch the bucket directly instead of
+			// redistributing it through level 0 and rescanning.
+			bucket := s.wheel[1][bestSlot]
+			t0 := s.events[bucket[0]].at
+			same := int64(t0)-bestB < numSlots
+			for i := 1; same && i < len(bucket); i++ {
+				same = s.events[bucket[i]].at == t0
+			}
+			if same && (len(s.overflow) == 0 || s.ovfMin > t0) {
+				spare := s.ready[:0]
+				s.ready = bucket
+				s.wheel[1][bestSlot] = spare
+				s.occ[1] &^= 1 << uint(bestSlot)
+				s.readyHead = 0
+				s.readyAt = t0
+				s.base = int64(t0)
+				s.sortReady()
+				return true
+			}
+		}
+		// Cascade the earliest higher-level bucket one or more levels
+		// down. No pending event precedes bestB (every other bucket's
+		// range starts at or after it, and overflow was checked), so
+		// the base may advance there; re-anchoring members at the range
+		// start lands each strictly below bestL.
+		if bestB > s.base {
+			s.base = bestB
+		}
+		bucket := s.wheel[bestL][bestSlot]
+		s.wheel[bestL][bestSlot] = bucket[:0]
+		s.occ[bestL] &^= 1 << uint(bestSlot)
+		for _, idx := range bucket {
+			s.place(idx, s.events[idx].at, bestB)
+		}
+		s.stats.Cascades += uint64(len(bucket))
+		if bestL == 1 && !tie {
+			// A level-1 cascade lands entirely in level 0 (bar rare
+			// far-future aliases), within one bucket width of bestB —
+			// and with no wider bucket starting at bestB itself, every
+			// remaining bucket's range starts past bestB+63. Skip the
+			// full rescan and dispatch the earliest level-0 tick
+			// directly.
+			if r := rotr(s.occ[0], uint(s.base)&slotMask); r != 0 {
+				c0 = s.base + int64(bits.TrailingZeros64(r))
+				if len(s.overflow) == 0 || int64(s.ovfMin) > c0 {
+					s.take0(c0)
+					return true
+				}
+			}
+		}
+	}
+}
+
+// take0 swaps the level-0 bucket holding tick c0 into ready (recycling
+// the drained ready slice as the bucket's next backing array), restores
+// FIFO by sequence number, and advances the base to it.
+func (s *Simulator) take0(c0 int64) {
+	slot := uint(c0) & slotMask
+	spare := s.ready[:0]
+	s.ready = s.wheel[0][slot]
+	s.wheel[0][slot] = spare
+	s.occ[0] &^= 1 << slot
+	s.readyHead = 0
+	s.readyAt = Time(c0)
+	s.base = c0
+	s.sortReady()
+}
+
+// sortReady restores sequence order in the materialized bucket. All
+// members share one timestamp, so sequence order is (at, seq) order.
+// Direct appends arrive already sorted; only cascade mixing can create
+// inversions, so check first and sort only when needed.
+func (s *Simulator) sortReady() {
+	r := s.ready
+	sorted := true
+	for i := 1; i < len(r); i++ {
+		if s.events[r[i]].seq < s.events[r[i-1]].seq {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return
+	}
+	if len(r) <= 48 {
+		// Insertion sort: O(n + inversions), allocation-free.
+		for i := 1; i < len(r); i++ {
+			v := r[i]
+			seq := s.events[v].seq
+			j := i - 1
+			for j >= 0 && s.events[r[j]].seq > seq {
+				r[j+1] = r[j]
+				j--
+			}
+			r[j+1] = v
+		}
+		return
+	}
+	s.heapsortReady()
+}
+
+// heapsortReady sorts large mixed buckets in O(n log n) without
+// allocating (sequence numbers are unique, so the order is total and
+// stability is irrelevant).
+func (s *Simulator) heapsortReady() {
+	r := s.ready
+	n := len(r)
+	for i := n/2 - 1; i >= 0; i-- {
+		s.siftSeq(r, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		r[0], r[i] = r[i], r[0]
+		s.siftSeq(r, 0, i)
+	}
+}
+
+// siftSeq sifts r[i] down within r[:n] under max-heap order by seq.
+func (s *Simulator) siftSeq(r []int32, i, n int) {
+	for {
+		c := 2*i + 1
+		if c >= n {
+			return
+		}
+		if c+1 < n && s.events[r[c+1]].seq > s.events[r[c]].seq {
+			c++
+		}
+		if s.events[r[c]].seq <= s.events[r[i]].seq {
+			return
+		}
+		r[i], r[c] = r[c], r[i]
+		i = c
+	}
+}
+
+// peekAt returns the timestamp of the earliest pending event without
+// dispatching it (materializing the next bucket if necessary).
+func (s *Simulator) peekAt() (Time, bool) {
+	if s.readyHead >= len(s.ready) && !s.refill() {
+		return 0, false
+	}
+	return s.readyAt, true
+}
+
+// pop removes the earliest event, releases its arena slot, and returns
+// its timestamp and callback fields (exactly one of fn and argFn is
+// non-nil). The pending set must be non-empty.
+func (s *Simulator) pop() (at Time, fn func(), argFn func(any), arg any) {
+	if s.readyHead >= len(s.ready) {
+		s.refill()
+	}
+	idx := s.ready[s.readyHead]
+	s.readyHead++
+	s.pending--
+	e := &s.events[idx]
+	at, fn, argFn, arg = e.at, e.fn, e.argFn, e.arg
+	// Release the callback and argument; the slot is dead until reused.
+	e.fn, e.argFn, e.arg = nil, nil, nil
+	s.free = append(s.free, idx)
+	return at, fn, argFn, arg
+}

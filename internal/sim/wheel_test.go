@@ -1,0 +1,256 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestWheelCrossLevelOrder schedules one batch of events whose delays
+// span every wheel level plus the overflow list, and checks they fire
+// in strict time order with cascades actually exercised.
+func TestWheelCrossLevelOrder(t *testing.T) {
+	delays := []int64{
+		0, 1, 2, 63, 64, 65, 4095, 4096, 4097,
+		1e6, 1e6 + 1, 1e9, 1e12, 1e14,
+		horizon - 1, horizon, horizon + 12345, 3 * horizon,
+	}
+	s := New()
+	var fired []Time
+	for _, d := range delays {
+		s.Schedule(Duration(d), func() { fired = append(fired, s.Now()) })
+	}
+	s.Run()
+	if len(fired) != len(delays) {
+		t.Fatalf("fired %d events, want %d", len(fired), len(delays))
+	}
+	sorted := append([]int64(nil), delays...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i, at := range fired {
+		if at != Time(sorted[i]) {
+			t.Fatalf("event %d fired at %d, want %d (order %v)", i, at, sorted[i], fired)
+		}
+	}
+	if st := s.SchedStats(); st.Cascades == 0 {
+		t.Fatal("cross-level delays produced no cascades")
+	}
+}
+
+// TestWheelSameTickAcrossCascade checks FIFO within one tick when the
+// tick's bucket is assembled from different wheel paths: one event filed
+// at schedule time, one appended later from a nested callback.
+func TestWheelSameTickAcrossCascade(t *testing.T) {
+	s := New()
+	var order []string
+	s.At(10000, func() { order = append(order, "a") })
+	s.At(2000, func() {
+		s.At(10000, func() { order = append(order, "c") })
+	})
+	s.At(10000, func() { order = append(order, "b") })
+	s.Run()
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("same-tick order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestWheelDeadlineDemoteRebase drives the between-runs paths: a
+// RunUntil deadline freezes a materialized bucket (and leaves the wheel
+// base ahead of the clock), then earlier events arrive — one below the
+// open bucket (demote), one below the wheel base (rebase).
+func TestWheelDeadlineDemoteRebase(t *testing.T) {
+	s := New()
+	var fired []Time
+	mark := func() { fired = append(fired, s.Now()) }
+	for i := 0; i < 3; i++ {
+		s.At(100, mark)
+	}
+	if end := s.RunUntil(50); end != 50 {
+		t.Fatalf("RunUntil(50) = %v, want 50", end)
+	}
+	// Base has advanced to the materialized bucket (100); these land in
+	// the gap the clock was cut back into.
+	s.At(60, mark)
+	s.At(55, mark)
+	s.Run()
+	want := []Time{55, 60, 100, 100, 100}
+	if len(fired) != len(want) {
+		t.Fatalf("fired = %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired = %v, want %v", fired, want)
+		}
+	}
+}
+
+// TestWheelLevel0AheadOfBucket pins the shape where the level-0 window
+// straddles a level-1 bucket's range start: with the base mid-epoch, a
+// level-0 event (here 130) can be later than the bucket's range start
+// (128) yet earlier than the bucket's member (170). The bucket must not
+// be dispatched ahead of it.
+func TestWheelLevel0AheadOfBucket(t *testing.T) {
+	s := New()
+	var fired []Time
+	mark := func() { fired = append(fired, s.Now()) }
+	// Two distinct ticks advance the wheel base to 101, mid-epoch.
+	s.At(100, mark)
+	s.At(101, mark)
+	s.Run()
+	// 170 lands on level 1 (range [128, 192)); 130 demotes it out of the
+	// open bucket and files itself on level 0 ([101, 165)).
+	s.At(170, mark)
+	s.At(130, mark)
+	s.Run()
+	want := []Time{100, 101, 130, 170}
+	for i := range want {
+		if i >= len(fired) || fired[i] != want[i] {
+			t.Fatalf("fired = %v, want %v", fired, want)
+		}
+	}
+}
+
+// TestWheelOverflowOrdering checks events beyond the wheel horizon fire
+// in order, both when mixed with near events (migration) and when the
+// overflow list is all that remains (direct materialization).
+func TestWheelOverflowOrdering(t *testing.T) {
+	s := New()
+	var fired []Time
+	mark := func() { fired = append(fired, s.Now()) }
+	s.At(Time(2*horizon+1), mark)
+	s.At(Time(horizon+10), mark)
+	s.At(5, mark)
+	s.At(Time(2*horizon), mark)
+	s.Run()
+	want := []Time{5, Time(horizon + 10), Time(2 * horizon), Time(2*horizon + 1)}
+	for i := range want {
+		if i >= len(fired) || fired[i] != want[i] {
+			t.Fatalf("fired = %v, want %v", fired, want)
+		}
+	}
+}
+
+// TestWheelRandomAgainstTime hammers the wheel with random delay sets,
+// including nested reschedules, and checks count and time ordering.
+func TestWheelRandomAgainstTime(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		rnd := rand.New(rand.NewSource(seed))
+		s := New()
+		n := rnd.Intn(200) + 1
+		fired := 0
+		last := Time(-1)
+		var check func()
+		check = func() {
+			if s.Now() < last {
+				t.Fatalf("seed %d: time went backwards: %v after %v", seed, s.Now(), last)
+			}
+			last = s.Now()
+			fired++
+			// Occasionally reschedule from inside a callback.
+			if rnd.Intn(4) == 0 && fired < 4*n {
+				s.Schedule(Duration(rnd.Intn(1<<20)), check)
+			}
+		}
+		for i := 0; i < n; i++ {
+			s.Schedule(Duration(rnd.Intn(1<<20)), check)
+		}
+		s.Run()
+		if got := s.Pending(); got != 0 {
+			t.Fatalf("seed %d: %d events still pending after Run", seed, got)
+		}
+	}
+}
+
+// TestSchedStats checks the scheduler high-water marks and their
+// process-wide aggregation.
+func TestSchedStats(t *testing.T) {
+	s := New()
+	for i := 0; i < 40; i++ {
+		s.At(7, func() {})
+	}
+	for i := 0; i < 10; i++ {
+		s.Schedule(Duration(1000+i*4096), func() {})
+	}
+	s.Run()
+	st := s.SchedStats()
+	if st.PeakPending != 50 {
+		t.Fatalf("PeakPending = %d, want 50", st.PeakPending)
+	}
+	if st.PeakBucket < 40 {
+		t.Fatalf("PeakBucket = %d, want >= 40 (the 40-event tick)", st.PeakBucket)
+	}
+	if GlobalPeakPending() < 50 {
+		t.Fatalf("GlobalPeakPending = %d, want >= 50 after Run", GlobalPeakPending())
+	}
+}
+
+// FuzzSchedulerOrdering feeds a random interleaved stream of
+// Schedule/ScheduleArg/At/pop operations to the timing wheel and to a
+// reference model that sorts by (at, seq); the dispatch order must be
+// byte-identical.
+func FuzzSchedulerOrdering(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 0, 1, 1, 0, 1, 2, 0, 0, 3})
+	f.Add([]byte{255, 255, 0, 255, 255, 1, 0, 0, 3, 0, 0, 3})
+	f.Add([]byte{16, 0, 2, 0, 64, 3, 3, 232, 0, 0, 0, 3, 0, 0, 3})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		type ref struct {
+			at  Time
+			seq int
+			id  int
+		}
+		s := New()
+		var pending []ref
+		var got, want []int
+		id, seq := 0, 0
+		argFn := func(a any) { got = append(got, a.(int)) }
+		popRef := func() {
+			best := 0
+			for i := 1; i < len(pending); i++ {
+				if pending[i].at < pending[best].at ||
+					(pending[i].at == pending[best].at && pending[i].seq < pending[best].seq) {
+					best = i
+				}
+			}
+			want = append(want, pending[best].id)
+			pending = append(pending[:best], pending[best+1:]...)
+		}
+		for i := 0; i+2 < len(ops); i += 3 {
+			d := Duration(int(ops[i])<<8 | int(ops[i+1]))
+			at := s.Now().Add(d)
+			switch ops[i+2] % 4 {
+			case 0:
+				myid := id
+				s.Schedule(d, func() { got = append(got, myid) })
+			case 1:
+				s.ScheduleArg(d, argFn, id)
+			case 2:
+				myid := id
+				s.At(at, func() { got = append(got, myid) })
+			case 3:
+				if s.Step() {
+					popRef()
+				}
+				continue
+			}
+			pending = append(pending, ref{at: at, seq: seq, id: id})
+			id++
+			seq++
+		}
+		for s.Step() {
+			popRef()
+		}
+		if len(pending) != 0 || s.Pending() != 0 {
+			t.Fatalf("reference has %d pending, wheel %d after drain", len(pending), s.Pending())
+		}
+		if len(got) != len(want) {
+			t.Fatalf("dispatched %d events, reference %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("dispatch order diverges at %d: got %v, want %v", i, got, want)
+			}
+		}
+	})
+}

@@ -1,0 +1,219 @@
+// Point-level result caching for sweeps.
+//
+// Every sweep point is a pure function of its configuration: the same
+// seed, scale, parameter set and code produce byte-identical rows (the
+// property the golden corpus pins). That makes each point's result
+// content-addressable — Key hashes a canonical encoding of everything
+// the point depends on, and PointCache memoizes the gob-encoded row
+// under that key, in process and optionally on disk. Repeated
+// invocations (re-rendering figures, iterating on one experiment while
+// the rest are untouched, CI re-runs at a pinned code version) then
+// skip the simulation entirely.
+//
+// The cache can only be trusted as far as the key reaches: callers must
+// fold in a code-version tag and bump it whenever simulation semantics
+// change, because the hash sees configurations, not the model code.
+package sweep
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"sync"
+)
+
+// Key returns the content-addressed identity of one sweep point: a hex
+// SHA-256 over a canonical encoding of parts. Parts may be numbers,
+// bools, strings, and (pointers to) structs, slices or arrays of those;
+// struct fields are folded in by name in declaration order, so the key
+// is deterministic across processes. Unsupported kinds (maps, funcs,
+// channels) panic: silently skipping a part would alias distinct
+// configurations to one key.
+func Key(parts ...any) string {
+	h := sha256.New()
+	for _, p := range parts {
+		writeCanon(h, reflect.ValueOf(p))
+		h.Write([]byte{0x1f})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// writeCanon encodes v deterministically. Every scalar is prefixed with
+// a kind tag and structs with their full type name, so values of
+// different types never collide ("1" as int vs. uint vs. "1" the
+// string), and reordering or renaming struct fields changes the key.
+func writeCanon(w io.Writer, v reflect.Value) {
+	if !v.IsValid() {
+		io.WriteString(w, "nil")
+		return
+	}
+	switch v.Kind() {
+	case reflect.Pointer, reflect.Interface:
+		if v.IsNil() {
+			io.WriteString(w, "nil")
+			return
+		}
+		writeCanon(w, v.Elem())
+	case reflect.Bool:
+		fmt.Fprintf(w, "b%t", v.Bool())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		fmt.Fprintf(w, "i%d", v.Int())
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		fmt.Fprintf(w, "u%d", v.Uint())
+	case reflect.Float32, reflect.Float64:
+		io.WriteString(w, "f")
+		io.WriteString(w, strconv.FormatFloat(v.Float(), 'g', -1, 64))
+	case reflect.String:
+		// Length-prefixed so adjacent strings can't run together.
+		fmt.Fprintf(w, "s%d:%s", v.Len(), v.String())
+	case reflect.Slice, reflect.Array:
+		fmt.Fprintf(w, "[%d:", v.Len())
+		for i := 0; i < v.Len(); i++ {
+			writeCanon(w, v.Index(i))
+			io.WriteString(w, ",")
+		}
+		io.WriteString(w, "]")
+	case reflect.Struct:
+		t := v.Type()
+		fmt.Fprintf(w, "{%s", t.String())
+		for i := 0; i < t.NumField(); i++ {
+			fmt.Fprintf(w, ";%s=", t.Field(i).Name)
+			writeCanon(w, v.Field(i))
+		}
+		io.WriteString(w, "}")
+	default:
+		panic("sweep: key part of unsupported kind " + v.Kind().String())
+	}
+}
+
+// PointCache memoizes sweep-point results by content-addressed key. An
+// in-process map serves hits across the figures of one invocation; with
+// a directory it also persists each result as <dir>/<key>.gob, so later
+// invocations at the same configuration and code version skip the
+// simulation. Safe for concurrent use by parallel sweep workers.
+type PointCache struct {
+	dir string
+
+	mu     sync.Mutex
+	memo   map[string][]byte
+	hits   uint64
+	misses uint64
+}
+
+// NewPointCache returns a cache memoizing in process; if dir is
+// non-empty, results are also persisted there (the directory is created
+// on first store).
+func NewPointCache(dir string) *PointCache {
+	return &PointCache{dir: dir, memo: make(map[string][]byte)}
+}
+
+// Dir reports the persistence directory ("" for memo-only).
+func (c *PointCache) Dir() string { return c.dir }
+
+// Stats reports how many point lookups hit and missed so far.
+func (c *PointCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// lookup returns the stored encoding for key, consulting the memo map
+// first and the persistence directory second (promoting disk hits into
+// the memo).
+func (c *PointCache) lookup(key string) ([]byte, bool) {
+	c.mu.Lock()
+	blob, ok := c.memo[key]
+	c.mu.Unlock()
+	if ok {
+		return blob, true
+	}
+	if c.dir == "" {
+		return nil, false
+	}
+	blob, err := os.ReadFile(filepath.Join(c.dir, key+".gob"))
+	if err != nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	c.memo[key] = blob
+	c.mu.Unlock()
+	return blob, true
+}
+
+// store records the encoding for key. Disk writes go through a temp
+// file and rename, so a crashed or concurrent run never leaves a
+// half-written entry (a corrupted entry would be recomputed anyway, see
+// CachedRun). Persistence errors are deliberately swallowed: the cache
+// is an accelerator, never a correctness dependency.
+func (c *PointCache) store(key string, blob []byte) {
+	c.mu.Lock()
+	c.memo[key] = blob
+	c.mu.Unlock()
+	if c.dir == "" {
+		return
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, "tmp-*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(blob)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(c.dir, key+".gob")); err != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+// count adjusts the hit/miss tallies.
+func (c *PointCache) count(hit bool) {
+	c.mu.Lock()
+	if hit {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	c.mu.Unlock()
+}
+
+// CachedRun is Run with per-point memoization: before computing point
+// i, the cache is consulted at key(i), and a decodable hit is returned
+// without running fn. Misses — including entries that fail to decode,
+// e.g. a truncated or corrupted cache file — run fn and store its
+// gob-encoded result (T must therefore have exported fields). A nil
+// cache degrades to plain Run.
+func CachedRun[T any](c *PointCache, parallel, n int, key func(i int) string, fn func(i int) T) []T {
+	if c == nil {
+		return Run(parallel, n, fn)
+	}
+	return Run(parallel, n, func(i int) T {
+		k := key(i)
+		if blob, ok := c.lookup(k); ok {
+			var out T
+			if gob.NewDecoder(bytes.NewReader(blob)).Decode(&out) == nil {
+				c.count(true)
+				return out
+			}
+		}
+		c.count(false)
+		out := fn(i)
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&out); err != nil {
+			panic(fmt.Sprintf("sweep: point result %T not cacheable: %v", out, err))
+		}
+		c.store(k, buf.Bytes())
+		return out
+	})
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package ioatsim
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package ioatsim
+
+// raceEnabled reports whether the race detector is compiled in; heavy
+// multi-corpus identity tests use it to stay inside the default test
+// timeout on slow hosts.
+const raceEnabled = true

@@ -3,59 +3,81 @@
 # BENCH_PR<N>.json style report at the repo root.
 #
 # The headline number is the sequential full-suite wall clock at the
-# given scale (default 0.25), plus engine throughput in events/sec.
+# given scale (default 0.25) with a cold point cache, plus engine
+# throughput in events/sec and the scheduler's peak pending depth.
 # BASELINE_WALL_S is the same measurement taken at the pre-optimization
-# commit (708e1a6) on the same machine; the hot-path overhaul (SoA cache,
-# arg-carrying events, packet-path pooling) is required to cut it by at
-# least 25% with byte-identical tables.
+# commit (a71f7d5, PR 3) on the same machine.
 #
-# A parallel run is also timed and its result tables diffed against the
-# sequential ones: the tables must not depend on the worker count.
+# A second sequential run against the now-warm point cache measures the
+# cache's effect (warm_wall_s, with its hit/miss counts), and a parallel
+# run's result tables are diffed against the sequential ones: the tables
+# must depend on neither the worker count nor the cache.
 # Usage: scripts/bench.sh [scale] [outfile]
 #   scale   defaults to 0.25
-#   outfile defaults to BENCH_PR3.json (pass BENCH_PR<N>.json per PR)
+#   outfile defaults to BENCH_PR6.json (pass BENCH_PR<N>.json per PR)
 set -eu
 
 cd "$(dirname "$0")/.."
 SCALE="${1:-0.25}"
-OUT="${2:-BENCH_PR3.json}"
+OUT="${2:-BENCH_PR6.json}"
 PR="$(basename "$OUT" | sed -n 's/^BENCH_PR\([0-9][0-9]*\)\.json$/\1/p')"
 PR="${PR:-0}"
-BASELINE_WALL_S=21.3
-BASELINE_COMMIT=708e1a6
-BIN="$(mktemp -d)/ioatbench"
-trap 'rm -rf "$(dirname "$BIN")"' EXIT
+BASELINE_WALL_S=15.3
+BASELINE_COMMIT=a71f7d5
+TMP="$(mktemp -d)"
+BIN="$TMP/ioatbench"
+CACHE="$TMP/pointcache"
+trap 'rm -rf "$TMP"' EXIT
 
 go build -o "$BIN" ./cmd/ioatbench
 
-seq_json="$(dirname "$BIN")/seq.json"
-par_json="$(dirname "$BIN")/par.json"
+seq_json="$TMP/seq.json"
+warm_json="$TMP/warm.json"
+par_json="$TMP/par.json"
 
-echo "sequential run (scale $SCALE)..." >&2
-"$BIN" -scale "$SCALE" -parallel 1 -json >"$seq_json"
-echo "parallel run (scale $SCALE, one worker per core)..." >&2
+echo "sequential run, cold point cache (scale $SCALE)..." >&2
+"$BIN" -scale "$SCALE" -parallel 1 -pointcache "$CACHE" -json >"$seq_json"
+echo "sequential run, warm point cache..." >&2
+"$BIN" -scale "$SCALE" -parallel 1 -pointcache "$CACHE" -json >"$warm_json"
+echo "parallel run, no cache (scale $SCALE, one worker per core)..." >&2
 "$BIN" -scale "$SCALE" -parallel 0 -json >"$par_json"
 
 # The result tables (and the total event count, which is deterministic)
-# must not depend on the worker count.
+# must depend on neither the worker count nor the cache. Timing, cache
+# tallies and the scheduler high-water mark (zero in a warm run that
+# simulates nothing) are the only fields allowed to differ.
 strip_timing() {
     grep -v '"wall' "$1" |
-        grep -v '"speedup"\|"parallel"\|"workers"\|"experiment_s"\|"events_per_s"' >"$2"
+        grep -v '"speedup"\|"parallel"\|"workers"\|"experiment_s"\|"events_per_s"' |
+        grep -v '"events"\|"peak_pending"\|"cache_hits"\|"cache_misses"' >"$2"
 }
 strip_timing "$seq_json" "$seq_json.tables"
 strip_timing "$par_json" "$par_json.tables"
+strip_timing "$warm_json" "$warm_json.tables"
 if ! diff "$seq_json.tables" "$par_json.tables" >/dev/null; then
     echo "FATAL: parallel results differ from sequential" >&2
+    exit 1
+fi
+if ! diff "$seq_json.tables" "$warm_json.tables" >/dev/null; then
+    echo "FATAL: warm-cache results differ from cold-cache" >&2
     exit 1
 fi
 
 extract() { grep -o "\"$2\": [0-9.]*" "$1" | head -1 | cut -d' ' -f2; }
 seq_s=$(extract "$seq_json" wall_s)
+warm_s=$(extract "$warm_json" wall_s)
 par_s=$(extract "$par_json" wall_s)
 workers=$(extract "$par_json" workers)
 events=$(extract "$seq_json" events)
 events_per_s=$(extract "$seq_json" events_per_s)
+go_maxprocs=$(extract "$seq_json" go_maxprocs)
+num_cpu=$(extract "$seq_json" num_cpu)
+peak_pending=$(extract "$seq_json" peak_pending)
+cache_hits=$(extract "$warm_json" cache_hits)
+cache_misses=$(extract "$warm_json" cache_misses)
 cut=$(awk -v base="$BASELINE_WALL_S" -v now="$seq_s" \
+    'BEGIN { printf "%.3f", (base > 0) ? 1 - now/base : 0 }')
+warm_cut=$(awk -v base="$BASELINE_WALL_S" -v now="$warm_s" \
     'BEGIN { printf "%.3f", (base > 0) ? 1 - now/base : 0 }')
 
 cat >"$OUT" <<EOF
@@ -67,10 +89,17 @@ cat >"$OUT" <<EOF
   "baseline_wall_s": $BASELINE_WALL_S,
   "wall_s": $seq_s,
   "wall_cut_fraction": $cut,
+  "warm_wall_s": $warm_s,
+  "warm_cut_fraction": $warm_cut,
+  "cache_hits": $cache_hits,
+  "cache_misses": $cache_misses,
   "events": $events,
   "events_per_s": $events_per_s,
+  "peak_pending": $peak_pending,
   "parallel_wall_s": $par_s,
-  "workers": $workers
+  "workers": $workers,
+  "go_maxprocs": $go_maxprocs,
+  "num_cpu": $num_cpu
 }
 EOF
-echo "wrote $OUT: ${seq_s}s sequential vs ${BASELINE_WALL_S}s baseline (cut ${cut}), ${events} events" >&2
+echo "wrote $OUT: ${seq_s}s cold / ${warm_s}s warm vs ${BASELINE_WALL_S}s baseline (cuts ${cut} / ${warm_cut}); ${events} events, peak pending ${peak_pending}; warm cache ${cache_hits} hits, ${cache_misses} misses" >&2
