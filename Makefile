@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race golden fuzz-smoke bench-smoke trace-smoke bench bench-compare sim-bench profile clean
+.PHONY: all build vet test race golden fuzz-smoke bench-smoke trace-smoke fault-smoke bench bench-compare sim-bench profile clean
 
 all: build vet test
 
@@ -23,12 +23,22 @@ race:
 golden:
 	$(GO) test . -run 'TestGoldenCorpus$$' -update
 
-# Short fuzz pass over the transport segmentation, cache and scheduler
-# invariants; CI runs this on every push.
+# Short fuzz pass over the transport segmentation, loss recovery, cache
+# and scheduler invariants; CI runs this on every push.
 fuzz-smoke:
 	$(GO) test ./internal/tcp -run '^$$' -fuzz FuzzTCPSegmentation -fuzztime 15s
+	$(GO) test ./internal/tcp -run '^$$' -fuzz FuzzTCPLossRecovery -fuzztime 15s
 	$(GO) test ./internal/mem -run '^$$' -fuzz FuzzCacheAccessRange -fuzztime 15s
 	$(GO) test ./internal/sim -run '^$$' -fuzz FuzzSchedulerOrdering -fuzztime 15s
+
+# Fault-plane smoke: the loss sweep under strict fail-fast checking, plus
+# the benign-plan differential (a non-nil all-zero plan must reproduce
+# the golden corpus byte-for-byte).
+fault-smoke: build
+	$(GO) run ./cmd/ioatbench -run fault_loss -scale 0.05 -strict >/dev/null
+	$(GO) test . -run 'TestBenignFaultPlanDifferential'
+	$(GO) test ./internal/tcp -run 'TestLossyStreamStrict|TestZeroPlanInert'
+	@echo "fault-smoke OK"
 
 # A fast end-to-end pass over every experiment: shapes only, tiny scale.
 bench-smoke: build

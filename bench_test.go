@@ -98,3 +98,4 @@ func BenchmarkAblPinning(b *testing.B)             { runFigure(b, "ablpin") }
 func BenchmarkAblCoalescing(b *testing.B)          { runFigure(b, "ablcoal") }
 func BenchmarkExtThreeTier(b *testing.B)           { runFigure(b, "ext3tier") }
 func BenchmarkExtIPC(b *testing.B)                 { runFigure(b, "extipc") }
+func BenchmarkFaultLoss(b *testing.B)              { runFigure(b, "fault_loss") }

@@ -9,6 +9,8 @@
 //	ioatbench -parallel 0        # auto: one worker per core (default)
 //	ioatbench -parallel 1        # strictly sequential
 //	ioatbench -check             # audit every run with the invariant checker
+//	ioatbench -strict            # fail-fast checking (implies -check)
+//	ioatbench -fault loss=0.001  # run under a fault plan (see internal/fault)
 //	ioatbench -json              # machine-readable results on stdout
 //	ioatbench -pointcache on     # memoize sweep points in testdata/pointcache/
 //	ioatbench -pointcache mem    # memoize in-process only (also: a directory path)
@@ -34,6 +36,7 @@ import (
 	"time"
 
 	"ioatsim/internal/bench"
+	"ioatsim/internal/fault"
 	"ioatsim/internal/host"
 	"ioatsim/internal/metrics"
 	"ioatsim/internal/sim"
@@ -110,6 +113,8 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		parallel = flag.Int("parallel", 0, "concurrent simulation points (0 = one per core, 1 = sequential)")
 		checked  = flag.Bool("check", false, "run under the runtime invariant checker (slower; aborts on violations)")
+		strict   = flag.Bool("strict", false, "fail-fast invariant checking: panic at the first violation (implies -check)")
+		faultStr = flag.String("fault", "", "fault plan spec, e.g. 'loss=0.001,flap=10ms/1ms,slow=2@0.5' (see internal/fault)")
 		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -198,7 +203,21 @@ func main() {
 		cache = sweep.NewPointCache(mode)
 	}
 
-	cfg := bench.Config{Seed: *seed, Scale: *scale, Parallel: *parallel, Check: *checked, Obs: obs, Cache: cache}
+	var plan *fault.Plan
+	if *faultStr != "" {
+		p, err := fault.ParseSpec(*faultStr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ioatbench: -fault: %v\n", err)
+			os.Exit(1)
+		}
+		if p.Seed == 0 {
+			p.Seed = *seed
+		}
+		plan = &p
+	}
+
+	cfg := bench.Config{Seed: *seed, Scale: *scale, Parallel: *parallel,
+		Check: *checked, Strict: *strict, Fault: plan, Obs: obs, Cache: cache}
 	runners := bench.Experiments()
 	if *run != "" {
 		runners = runners[:0:0]

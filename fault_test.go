@@ -1,0 +1,43 @@
+package ioatsim
+
+import (
+	"os"
+	"testing"
+
+	"ioatsim/internal/bench"
+	"ioatsim/internal/fault"
+)
+
+// TestBenignFaultPlanDifferential is the inertness proof for the fault
+// plane: running every experiment under a non-nil but all-zero
+// fault.Plan — recovery machinery armed, fault hooks installed on every
+// link, NIC and CPU, retransmission timers live — must render tables
+// byte-identical to the committed golden corpus, which was produced
+// with no plan at all. Any timing, RNG-consumption or CPU-accounting
+// perturbation from merely enabling the subsystem shows up here as a
+// golden diff.
+func TestBenignFaultPlanDifferential(t *testing.T) {
+	if raceEnabled {
+		t.Skip("full-corpus differential is too slow under the race detector")
+	}
+	if *updateGolden {
+		t.Skip("regenerating corpus")
+	}
+	for _, r := range bench.Experiments() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			t.Parallel()
+			cfg := goldenConfig()
+			cfg.Fault = &fault.Plan{}
+			got := r.Run(cfg).String()
+			want, err := os.ReadFile(goldenPath(r.ID))
+			if err != nil {
+				t.Fatalf("missing golden file (generate with `make golden`): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s diverges under the benign fault plan — the fault plane is not inert:\n%s",
+					r.ID, diffLines(string(want), got))
+			}
+		})
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"ioatsim/internal/cost"
+	"ioatsim/internal/fault"
 	"ioatsim/internal/host"
 	"ioatsim/internal/ioat"
 	"ioatsim/internal/sim"
@@ -36,6 +37,20 @@ type Config struct {
 	// paths stay probe-free.
 	Check bool
 
+	// Strict upgrades Check to fail-fast: the first violated invariant
+	// panics at the virtual time it happens instead of at the end-of-run
+	// verdict. Implies Check.
+	Strict bool
+
+	// Fault, when non-nil, runs every simulation under the given fault
+	// plan (internal/fault): link loss and flaps, NIC ring overflow,
+	// degraded nodes, and the transport's retransmission machinery. The
+	// plan participates in the point-cache key; a nil plan is the
+	// lossless fabric every figure of the paper assumes. Runners that
+	// sweep their own fault parameters (the loss-sweep figure) override
+	// it per point.
+	Fault *fault.Plan
+
 	// Obs attaches observability sinks (tracer, profiler, metrics
 	// registry) to every cluster the experiment builds. The tracer and
 	// registry are not goroutine-safe across concurrently-running
@@ -54,8 +69,14 @@ type Config struct {
 // hostOpts translates the config into cluster-construction options.
 func (c Config) hostOpts() []host.Option {
 	var opts []host.Option
-	if c.Check {
+	switch {
+	case c.Strict:
+		opts = append(opts, host.WithStrictCheck())
+	case c.Check:
 		opts = append(opts, host.WithCheck())
+	}
+	if c.Fault != nil {
+		opts = append(opts, host.WithFault(*c.Fault))
 	}
 	if c.Obs.Enabled() {
 		opts = append(opts, host.WithObservability(c.Obs))
@@ -138,6 +159,7 @@ func Experiments() []Runner {
 		{"ablcoal", "Ablation: interrupt coalescing budget", AblCoal},
 		{"ext3tier", "Extension: 3-tier dynamic-content data-center", Ext3Tier},
 		{"extipc", "Extension: intra-node IPC via the copy engine", ExtIPC},
+		{"fault_loss", "Extension: goodput and CPU vs. loss rate", FaultLoss},
 	}
 }
 
@@ -252,12 +274,14 @@ const cacheVersion = "ioatsim-v6"
 // key builds the content-addressed identity of one sweep point from the
 // code version, the figure/point discriminators (which must include the
 // point's cost.Params when the figure adjusts them), and the config
-// fields that reach the tables: Seed and Scale. Parallel, Check, Obs
-// and Cache are deliberately excluded — they change how a run executes
-// or what it records, never what the tables say (the parallel and
-// golden tests pin that property).
+// fields that reach the tables: Seed, Scale and the fault plan (a nil
+// plan and the benign zero plan hash apart, but both produce the golden
+// tables — the differential test pins that). Parallel, Check, Strict,
+// Obs and Cache are deliberately excluded — they change how a run
+// executes or what it records, never what the tables say (the parallel
+// and golden tests pin that property).
 func (c Config) key(kind string, parts ...any) string {
-	return sweep.Key(cacheVersion, kind, c.Seed, c.Scale, parts)
+	return sweep.Key(cacheVersion, kind, c.Seed, c.Scale, c.Fault, parts)
 }
 
 // points runs fn for every point index of a figure, concurrently up to

@@ -12,6 +12,7 @@ func TestExperimentsRegistryComplete(t *testing.T) {
 		"fig3a", "fig3b", "fig4", "fig5a", "fig5b", "fig6", "fig7a", "fig7b",
 		"fig8a", "fig8b", "fig9", "fig10a", "fig10b", "fig11a", "fig11b",
 		"fig12", "ablrss", "ablpin", "ablcoal", "ext3tier", "extipc",
+		"fault_loss",
 	}
 	got := Experiments()
 	if len(got) != len(want) {

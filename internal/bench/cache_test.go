@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"ioatsim/internal/cost"
+	"ioatsim/internal/fault"
 	"ioatsim/internal/host"
 	"ioatsim/internal/sweep"
 	"ioatsim/internal/trace"
@@ -50,10 +51,25 @@ func TestPointKeyConfigSensitivity(t *testing.T) {
 	if cacheCfg.key("probe", 7) != k0 {
 		t.Error("Cache must not reach the point key")
 	}
+	strictCfg := base
+	strictCfg.Strict = true
+	if strictCfg.key("probe", 7) != k0 {
+		t.Error("Strict must not reach the point key (fail-fast checking never alters outcomes)")
+	}
+	faultCfg := base
+	faultCfg.Fault = &fault.Plan{Seed: 1, LossRate: 0.01}
+	if faultCfg.key("probe", 7) == k0 {
+		t.Error("Fault must reach the point key: a lossy run is a different result")
+	}
+	benignCfg := base
+	benignCfg.Fault = &fault.Plan{}
+	if benignCfg.key("probe", 7) == k0 {
+		t.Error("a non-nil benign plan still keys separately from a nil plan")
+	}
 
 	decided := map[string]bool{
-		"Seed": true, "Scale": true,
-		"Parallel": false, "Check": false, "Obs": false, "Cache": false,
+		"Seed": true, "Scale": true, "Fault": true,
+		"Parallel": false, "Check": false, "Strict": false, "Obs": false, "Cache": false,
 	}
 	rt := reflect.TypeOf(Config{})
 	for i := 0; i < rt.NumField(); i++ {

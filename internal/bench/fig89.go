@@ -29,6 +29,8 @@ func dcOptions(cfg Config, feat ioat.Features) datacenter.Options {
 		ClientNodes:      16,
 		ThreadsPerClient: 4,
 		Check:            cfg.Check,
+		Strict:           cfg.Strict,
+		Fault:            cfg.Fault,
 		Obs:              cfg.Obs,
 		Warm:             warm,
 		Meas:             cfg.duration(240 * time.Millisecond),

@@ -9,7 +9,7 @@ import "testing"
 // mutable state between points — a package-level scratch Params, a
 // shared RNG, a reused cluster — shows up here as a diff.
 func TestParallelDeterminism(t *testing.T) {
-	for _, id := range []string{"fig4", "fig8a", "fig10a"} {
+	for _, id := range []string{"fig4", "fig8a", "fig10a", "fault_loss"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			t.Parallel()

@@ -15,6 +15,7 @@ import (
 
 	"ioatsim/internal/check"
 	"ioatsim/internal/cost"
+	"ioatsim/internal/fault"
 	"ioatsim/internal/sim"
 	"ioatsim/internal/trace"
 )
@@ -33,6 +34,11 @@ type CPU struct {
 
 	chk *check.Checker
 	obs *trace.Obs
+
+	// fault, when non-nil, scales every work item (a degraded node).
+	// Every Submit*/Exec* variant funnels through enqueue, so this one
+	// hook covers the whole CPU model; nil costs one pointer compare.
+	fault *fault.NodeFault
 }
 
 type core struct {
@@ -58,6 +64,10 @@ func (c *CPU) NumCores() int { return len(c.cores) }
 // the whole CPU model.
 func (c *CPU) SetObs(o *trace.Obs) { c.obs = o }
 
+// SetFault installs the node's slowdown state (host construction wires
+// it under a fault plan).
+func (c *CPU) SetFault(f *fault.NodeFault) { c.fault = f }
+
 // pick returns the index of the core that will become free soonest.
 func (c *CPU) pick() int {
 	best := 0
@@ -74,6 +84,9 @@ func (c *CPU) pick() int {
 func (c *CPU) enqueue(i int, d time.Duration, site trace.Site) sim.Time {
 	if d < 0 {
 		panic("cpu: negative work")
+	}
+	if c.fault != nil {
+		d = c.fault.Scale(d)
 	}
 	now := c.S.Now()
 	co := &c.cores[i]

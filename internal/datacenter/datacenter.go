@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"ioatsim/internal/cost"
+	"ioatsim/internal/fault"
 	"ioatsim/internal/host"
 	"ioatsim/internal/ioat"
 	"ioatsim/internal/mem"
@@ -105,6 +106,13 @@ type Options struct {
 	// panics on any violation at the end of the run.
 	Check bool
 
+	// Strict upgrades Check to fail-fast (panic at the violating event).
+	Strict bool
+
+	// Fault, when non-nil, runs the data-center under the given fault
+	// plan (see internal/fault).
+	Fault *fault.Plan
+
 	// Obs attaches observability sinks to the cluster (see host.Observability).
 	Obs host.Observability
 
@@ -114,8 +122,14 @@ type Options struct {
 // hostOpts translates Options into cluster-construction options.
 func (o Options) hostOpts() []host.Option {
 	var opts []host.Option
-	if o.Check {
+	switch {
+	case o.Strict:
+		opts = append(opts, host.WithStrictCheck())
+	case o.Check:
 		opts = append(opts, host.WithCheck())
+	}
+	if o.Fault != nil {
+		opts = append(opts, host.WithFault(*o.Fault))
 	}
 	if o.Obs.Enabled() {
 		opts = append(opts, host.WithObservability(o.Obs))

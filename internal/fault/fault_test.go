@@ -1,0 +1,236 @@
+package fault
+
+import (
+	"testing"
+	"time"
+
+	"ioatsim/internal/sim"
+)
+
+func TestParseSpec(t *testing.T) {
+	p, err := ParseSpec("loss=0.01,seed=7,flap=50ms/5ms,ring=256,slow=1.5@0.5,mask=0x2/8,retries=16,rtomin=1ms,rtomax=50ms,dupack=4,burst=0.3,pgb=0.05,pbg=0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Plan{
+		Seed: 7, LossRate: 0.01,
+		BurstLossRate: 0.3, PGoodBad: 0.05, PBadGood: 0.25,
+		DropMask: 2, MaskBits: 8,
+		FlapPeriod: 50 * time.Millisecond, FlapDown: 5 * time.Millisecond,
+		RxRingFrames: 256, SlowFactor: 1.5, SlowFraction: 0.5,
+		RTOMin: time.Millisecond, RTOMax: 50 * time.Millisecond,
+		MaxRetries: 16, DupAckThresh: 4,
+	}
+	if p != want {
+		t.Fatalf("parsed %+v, want %+v", p, want)
+	}
+	if got, err := ParseSpec(""); err != nil || got != (Plan{}) {
+		t.Fatalf("empty spec: %+v, %v", got, err)
+	}
+	for _, bad := range []string{"loss", "loss=x", "wat=1", "loss=1.5", "mask=0xff", "flap=5ms/50ms"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("spec %q: want error", bad)
+		}
+	}
+}
+
+func TestZeroPlanNeverDrops(t *testing.T) {
+	in := NewInjector(Plan{})
+	lf := in.Link("a", 0)
+	nf := in.NIC("a")
+	nd := in.Node("a")
+	for i := 0; i < 10000; i++ {
+		if lf.Drop(sim.Time(i)*sim.Time(time.Microsecond), 45, 64<<10) {
+			t.Fatal("zero plan dropped a chunk")
+		}
+		if !nf.Admit(45, 64<<10) {
+			t.Fatal("zero plan refused ring admission")
+		}
+		nf.Drain(45)
+	}
+	if nd.Degraded() || nd.Scale(time.Microsecond) != time.Microsecond {
+		t.Fatal("zero plan degraded a node")
+	}
+	tot := in.Totals()
+	if tot != (Totals{}) {
+		t.Fatalf("zero plan accumulated drops: %+v", tot)
+	}
+}
+
+func TestBernoulliLossRoughlyCalibrated(t *testing.T) {
+	in := NewInjector(Plan{Seed: 3, LossRate: 0.1})
+	lf := in.Link("a", 0)
+	const n = 20000
+	drops := 0
+	for i := 0; i < n; i++ {
+		if lf.Drop(0, 1, 1500) { // single-frame chunks: per-chunk = per-frame rate
+			drops++
+		}
+	}
+	got := float64(drops) / n
+	if got < 0.08 || got > 0.12 {
+		t.Fatalf("single-frame drop rate %v, want ~0.1", got)
+	}
+	// Multi-frame chunks must drop strictly more often.
+	lf2 := NewInjector(Plan{Seed: 3, LossRate: 0.1}).Link("a", 0)
+	multi := 0
+	for i := 0; i < n; i++ {
+		if lf2.Drop(0, 10, 15000) {
+			multi++
+		}
+	}
+	if multi <= drops {
+		t.Fatalf("10-frame chunks dropped %d times, single-frame %d; want more", multi, drops)
+	}
+}
+
+func TestMaskSchedule(t *testing.T) {
+	// mask 0b0101 over 4 bits: chunks 0, 2, 4, 6, ... drop.
+	lf := NewInjector(Plan{DropMask: 0b0101, MaskBits: 4}).Link("a", 0)
+	for i := 0; i < 16; i++ {
+		want := i%2 == 0
+		if got := lf.Drop(0, 1, 100); got != want {
+			t.Fatalf("chunk %d: drop=%v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestFlapWindow(t *testing.T) {
+	in := NewInjector(Plan{FlapPeriod: 100 * time.Microsecond, FlapDown: 10 * time.Microsecond})
+	lf := in.Link("a", 0)
+	period := 100 * time.Microsecond
+	// Scan one full period at fine granularity: exactly the down window
+	// (10% of offers, phase-shifted) must drop.
+	drops := 0
+	const steps = 1000
+	for i := 0; i < steps; i++ {
+		at := sim.Time(0).Add(time.Duration(i) * period / steps)
+		if lf.Drop(at, 1, 100) {
+			drops++
+		}
+	}
+	if drops != steps/10 {
+		t.Fatalf("flap dropped %d of %d offers, want exactly %d", drops, steps, steps/10)
+	}
+	if lf.FlapDrops != int64(drops) {
+		t.Fatalf("FlapDrops %d != %d", lf.FlapDrops, drops)
+	}
+}
+
+func TestGilbertElliottBursts(t *testing.T) {
+	// Bad state drops 80% of frames; chain spends ~1/3 of chunks bad.
+	in := NewInjector(Plan{Seed: 9, BurstLossRate: 0.8, PGoodBad: 0.1, PBadGood: 0.2})
+	lf := in.Link("a", 0)
+	const n = 30000
+	drops := 0
+	for i := 0; i < n; i++ {
+		if lf.Drop(0, 1, 100) {
+			drops++
+		}
+	}
+	// Stationary bad fraction = pgb/(pgb+pbg) = 1/3; expected drop rate ~0.267.
+	got := float64(drops) / n
+	if got < 0.2 || got > 0.33 {
+		t.Fatalf("GE drop rate %v, want ~0.27", got)
+	}
+}
+
+func TestSeedChangesPattern(t *testing.T) {
+	pattern := func(seed uint64) (drops [64]bool) {
+		lf := NewInjector(Plan{Seed: seed, LossRate: 0.3}).Link("a", 0)
+		for i := range drops {
+			drops[i] = lf.Drop(0, 1, 100)
+		}
+		return
+	}
+	if pattern(1) == pattern(2) {
+		t.Fatal("seeds 1 and 2 produced identical drop patterns")
+	}
+	if pattern(1) != pattern(1) {
+		t.Fatal("same seed produced differing drop patterns")
+	}
+}
+
+func TestPerLinkIndependence(t *testing.T) {
+	in := NewInjector(Plan{Seed: 1, LossRate: 0.3})
+	a0, a1 := in.Link("a", 0), in.Link("a", 1)
+	same := true
+	for i := 0; i < 64; i++ {
+		if a0.Drop(0, 1, 100) != a1.Drop(0, 1, 100) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("two links share one drop pattern")
+	}
+	// Construction order must not matter: a fresh injector handing out
+	// the same identity reproduces the same pattern.
+	in2 := NewInjector(Plan{Seed: 1, LossRate: 0.3})
+	_ = in2.Link("zzz", 5) // allocate something else first
+	b0 := in2.Link("a", 0)
+	a0b := NewInjector(Plan{Seed: 1, LossRate: 0.3}).Link("a", 0)
+	for i := 0; i < 64; i++ {
+		if b0.Drop(0, 1, 100) != a0b.Drop(0, 1, 100) {
+			t.Fatal("drop pattern depends on injector construction order")
+		}
+	}
+}
+
+func TestRingOverflow(t *testing.T) {
+	nf := NewInjector(Plan{RxRingFrames: 100}).NIC("a")
+	if !nf.Admit(60, 1000) {
+		t.Fatal("first chunk must fit")
+	}
+	if nf.Admit(60, 1000) {
+		t.Fatal("second chunk must overflow a 100-frame ring")
+	}
+	nf.Drain(60)
+	if !nf.Admit(60, 1000) {
+		t.Fatal("chunk must fit after drain")
+	}
+	if nf.DroppedChunks != 1 || nf.DroppedBytes != 1000 {
+		t.Fatalf("counters %d/%d, want 1/1000", nf.DroppedChunks, nf.DroppedBytes)
+	}
+}
+
+func TestSlowNodeSelection(t *testing.T) {
+	in := NewInjector(Plan{Seed: 1, SlowFactor: 2})
+	nd := in.Node("a")
+	if !nd.Degraded() || nd.Scale(time.Microsecond) != 2*time.Microsecond {
+		t.Fatal("SlowFraction 0 with a factor must degrade every node")
+	}
+	// A fractional selection must be stable and select roughly its share.
+	in2 := NewInjector(Plan{Seed: 1, SlowFactor: 2, SlowFraction: 0.5})
+	slow := 0
+	for i := 0; i < 200; i++ {
+		if in2.Node("node" + string(rune('a'+i%26)) + string(rune('0'+i/26))).Degraded() {
+			slow++
+		}
+	}
+	if slow < 60 || slow > 140 {
+		t.Fatalf("SlowFraction 0.5 degraded %d of 200 nodes", slow)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []Plan{
+		{LossRate: -0.1},
+		{LossRate: 1},
+		{BurstLossRate: 1.2},
+		{PGoodBad: 2},
+		{MaskBits: 65},
+		{FlapPeriod: time.Millisecond, FlapDown: 2 * time.Millisecond},
+		{RxRingFrames: -1},
+		{SlowFactor: -1},
+		{SlowFraction: 2},
+		{RTOMin: 2 * time.Millisecond, RTOMax: time.Millisecond},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("plan %d (%+v): want validation error", i, p)
+		}
+	}
+	if err := (&Plan{}).Validate(); err != nil {
+		t.Errorf("zero plan must validate: %v", err)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"ioatsim/internal/cost"
 	"ioatsim/internal/cpu"
 	"ioatsim/internal/dma"
+	"ioatsim/internal/fault"
 	"ioatsim/internal/ioat"
 	"ioatsim/internal/mem"
 	"ioatsim/internal/metrics"
@@ -84,6 +85,12 @@ type Cluster struct {
 	// Check is the invariant checker installed by WithCheck, nil otherwise.
 	Check *check.Checker
 
+	// Fault is the fault-plan injector installed by WithFault, nil for
+	// the lossless fabric. Every node added to the cluster gets its
+	// hooks (link drops, NIC ring bound, CPU slowdown) and arms the
+	// transport's loss recovery.
+	Fault *fault.Injector
+
 	// Obs holds the observability sinks installed by WithObservability.
 	Obs Observability
 
@@ -122,6 +129,25 @@ func WithCheck() Option {
 	return func(c *Cluster) { c.Check = check.New() }
 }
 
+// WithStrictCheck is WithCheck with fail-fast semantics: the first
+// violated invariant panics at the exact virtual time it happens instead
+// of being collected for the end-of-run verdict.
+func WithStrictCheck() Option {
+	return func(c *Cluster) {
+		c.Check = check.New()
+		c.Check.Strict = true
+	}
+}
+
+// WithFault installs a fault plan: every node subsequently added gets
+// per-link loss/flap state, a bounded NIC receive ring, a CPU slowdown
+// factor (all as the plan directs — the zero plan is benign), and a
+// transport armed for retransmission. Composes with WithCheck, whose
+// conservation ledgers then audit the drop/retransmit flow end-to-end.
+func WithFault(plan fault.Plan) Option {
+	return func(c *Cluster) { c.Fault = fault.NewInjector(plan) }
+}
+
 // WithObservability installs the given observability sinks on the
 // cluster's simulator as additional probes (composing with WithCheck).
 // Sinks may be shared across sequentially-built clusters of one sweep;
@@ -158,6 +184,15 @@ func NewCluster(p *cost.Params, seed uint64, opts ...Option) *Cluster {
 	}
 	if c.Obs.Metrics != nil {
 		simOpts = append(simOpts, sim.WithProbe(c.Obs.Metrics))
+	}
+	if c.Fault != nil {
+		if r := c.Fault.Plan().RxRingFrames; r > 0 && r < p.Frames(p.ChunkMax) {
+			// A ring that cannot hold one full-size chunk would reject
+			// it on every (re)transmission — an unrecoverable livelock,
+			// not a fault model.
+			panic(fmt.Sprintf("host: RxRingFrames %d below one %d-byte chunk (%d frames)",
+				r, p.ChunkMax, p.Frames(p.ChunkMax)))
+		}
 	}
 	c.S = sim.New(simOpts...)
 	if c.Obs.Metrics != nil {
@@ -213,6 +248,14 @@ func (c *Cluster) Add(name string, feat ioat.Features, nports int) *Node {
 		panic(fmt.Sprintf("host: duplicate node %q", name))
 	}
 	n := NewNode(c.S, c.P, feat, name, nports)
+	if c.Fault != nil {
+		n.CPU.SetFault(c.Fault.Node(name))
+		n.NIC.Fault = c.Fault.NIC(name)
+		for i, pt := range n.NIC.Ports {
+			pt.Fault = c.Fault.Link(name, i)
+		}
+		n.Stack.EnableRecovery(c.Fault.Plan())
+	}
 	c.Nodes = append(c.Nodes, n)
 	c.byName[name] = n
 	if c.scope != nil {
@@ -273,6 +316,34 @@ func registerNodeMetrics(sc *metrics.Scope, n *Node) {
 		sc.TimeWeighted(pre+"tcp/rx_backlog_bytes"),
 		sc.HistogramInstrument(pre+"tcp/seg_bytes",
 			1024, 4096, 9216, 16384, 32768, 65536))
+	if n.NIC.Fault != nil {
+		// Fault-plane series, present only under a fault plan (the NIC
+		// hook is installed exactly when the rest are).
+		sc.CounterFunc(pre+"fault/link_drop_bytes", func() float64 {
+			var b int64
+			for _, p := range n.NIC.Ports {
+				if p.Fault != nil {
+					b += p.Fault.DroppedBytes
+				}
+			}
+			return float64(b)
+		})
+		sc.CounterFunc(pre+"fault/nic_drop_bytes", func() float64 {
+			return float64(n.NIC.Fault.DroppedBytes)
+		})
+		sc.CounterFunc(pre+"fault/retx_bytes", func() float64 {
+			return float64(n.Stack.RetransmitBytes)
+		})
+		sc.CounterFunc(pre+"fault/rto", func() float64 {
+			return float64(n.Stack.Timeouts)
+		})
+		sc.CounterFunc(pre+"fault/fast_retx", func() float64 {
+			return float64(n.Stack.FastRetransmits)
+		})
+		sc.CounterFunc(pre+"fault/rx_discard_bytes", func() float64 {
+			return float64(n.Stack.RxDiscardBytes)
+		})
+	}
 }
 
 // Node returns a registered node by name.

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"ioatsim/internal/check"
+	"ioatsim/internal/fault"
 	"ioatsim/internal/sim"
 	"ioatsim/internal/trace"
 )
@@ -21,6 +22,10 @@ type Chunk struct {
 	Frames int
 	// WireBytes is the on-wire size including all per-frame overheads.
 	WireBytes int
+	// Seq is the transport stream offset of the chunk's first payload
+	// byte. The fabric never reads it; the transport's loss-recovery
+	// path uses it to detect gaps and duplicates at the receiver.
+	Seq int64
 	// Meta carries transport-layer context opaquely through the fabric.
 	Meta any
 
@@ -78,6 +83,12 @@ type Port struct {
 	// Deliver is invoked at this port when a chunk has been fully
 	// received. The NIC layer installs it.
 	Deliver func(c *Chunk)
+
+	// Fault, when non-nil, decides per chunk whether the wire eats the
+	// transmission (loss, flap windows). Installed by host construction
+	// under a fault plan; nil — the seed configuration — costs one
+	// pointer compare per send.
+	Fault *fault.LinkFault
 
 	txFree sim.Time
 	rxFree sim.Time
@@ -142,6 +153,24 @@ func (p *Port) Send(dst *Port, c *Chunk) {
 		// The transmit-side serialization window only: per-port spans
 		// stay non-overlapping, which trace viewers require per track.
 		p.obs.Span(trace.TidLinkBase+int32(p.Index), trace.SiteLinkChunk, txStart, ser, int64(c.WireBytes))
+	}
+
+	if p.Fault != nil && p.Fault.Drop(now, c.Frames, c.Bytes) {
+		// The wire eats the chunk: the transmit side still paid its
+		// serialization window (the sender cannot know), but nothing
+		// arrives. The link ledgers close immediately — the bytes left
+		// the fabric — and the fault ledger records where they went, so
+		// strict runs stay balanced under loss.
+		if p.chk != nil {
+			p.chk.Ledger("link:payload").Out(int64(c.Bytes))
+			p.chk.Ledger("link:wire").Out(int64(c.WireBytes))
+			p.chk.Ledger("fault:link-dropped").In(int64(c.Bytes))
+		}
+		if p.obs != nil {
+			p.obs.Instant(trace.TidLinkBase+int32(p.Index), trace.SiteLinkDrop, int64(c.Bytes))
+		}
+		c.Release()
+		return
 	}
 
 	arrive := txEnd.Add(p.Prop)

@@ -17,6 +17,7 @@ import (
 	"ioatsim/internal/cost"
 	"ioatsim/internal/cpu"
 	"ioatsim/internal/dma"
+	"ioatsim/internal/fault"
 	"ioatsim/internal/ioat"
 	"ioatsim/internal/link"
 	"ioatsim/internal/mem"
@@ -88,6 +89,12 @@ type NIC struct {
 	// OnReceive is invoked (in event context, after softirq processing)
 	// for every received chunk. The transport installs it.
 	OnReceive func(rx *RxChunk)
+
+	// Fault, when non-nil, bounds the receive ring: chunks that do not
+	// fit are dropped before any protocol work is priced. Installed by
+	// host construction under a fault plan; nil is unbounded (the seed
+	// behaviour) and costs one pointer compare per chunk.
+	Fault *fault.NICFault
 
 	// Stats.
 	RxChunks   int64
@@ -177,6 +184,20 @@ func (n *NIC) deliver(port int, c *link.Chunk) {
 	}
 	p := n.P
 	frames := c.Frames
+	if n.Fault != nil && !n.Fault.Admit(frames, c.Bytes) {
+		// Receive-ring overflow: the frames arrived but had no
+		// descriptors to land in. The chunk vanishes before any
+		// interrupt or protocol work; the transport's retransmission
+		// path recovers the bytes.
+		if n.chk != nil {
+			n.chk.Ledger("fault:nic-dropped").In(int64(c.Bytes))
+		}
+		if n.obs != nil {
+			n.obs.Instant(trace.TidNIC, trace.SiteNICDrop, int64(c.Bytes))
+		}
+		c.Release()
+		return
+	}
 	n.RxChunks++
 	n.RxFrames += int64(frames)
 
@@ -273,6 +294,9 @@ func rxReady(a any) {
 	rx := a.(*RxChunk)
 	n := rx.nic
 	rx.ReadyAt = n.S.Now()
+	if n.Fault != nil {
+		n.Fault.Drain(rx.Chunk.Frames)
+	}
 	if n.chk != nil {
 		// Softirq completion cannot precede frame arrival.
 		n.chk.Assert(rx.ReadyAt >= rx.arrived,

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"ioatsim/internal/cost"
+	"ioatsim/internal/fault"
 	"ioatsim/internal/host"
 	"ioatsim/internal/ioat"
 	"ioatsim/internal/sim"
@@ -27,6 +28,13 @@ type Options struct {
 	// Check runs the simulation under the runtime invariant checker and
 	// panics on any violation at the end of the run.
 	Check bool
+
+	// Strict upgrades Check to fail-fast (panic at the violating event).
+	Strict bool
+
+	// Fault, when non-nil, runs the file system under the given fault
+	// plan (see internal/fault).
+	Fault *fault.Plan
 
 	// Obs attaches observability sinks to the cluster (see host.Observability).
 	Obs host.Observability
@@ -68,8 +76,14 @@ type Metrics struct {
 func Run(o Options) Metrics {
 	o.defaults()
 	var opts []host.Option
-	if o.Check {
+	switch {
+	case o.Strict:
+		opts = append(opts, host.WithStrictCheck())
+	case o.Check:
 		opts = append(opts, host.WithCheck())
+	}
+	if o.Fault != nil {
+		opts = append(opts, host.WithFault(*o.Fault))
 	}
 	if o.Obs.Enabled() {
 		opts = append(opts, host.WithObservability(o.Obs))

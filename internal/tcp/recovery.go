@@ -1,0 +1,410 @@
+// Loss recovery: the minimal retransmission machine a stack arms when a
+// fault plan is installed (EnableRecovery). The design is go-back-N at
+// chunk granularity with cumulative ACKs:
+//
+//   - every transmitted chunk carries its stream offset (link.Chunk.Seq)
+//     and is remembered in the connection's retransmission queue until
+//     cumulatively acknowledged;
+//   - the receiver accepts only the next in-order chunk; anything else
+//     (a gap after a drop, or a duplicate from a spurious retransmit) is
+//     discarded and re-ACKed, so delivery up the stack stays exactly-once
+//     and in-order — the tcp:stream conservation ledger would trip
+//     immediately on a duplicate accept;
+//   - ACKs are pure bookkeeping: they travel after the propagation delay
+//     but are never dropped and charge no CPU, so a benign (all-zero)
+//     plan perturbs neither timing nor utilization and every golden
+//     table stays byte-identical (the differential test pins this). The
+//     paper's ACK-processing cost remains charged by the credit path.
+//   - the retransmission timer runs per connection for the oldest
+//     unacked segment, with Jacobson/Karn RTT estimation, exponential
+//     backoff capped at the plan's RTOMax, and a bounded number of
+//     consecutive timeouts without progress before the run aborts (a
+//     livelock guard: a simulated fabric that eats everything forever
+//     would otherwise spin retransmissions endlessly);
+//   - dupAckThresh duplicate cumulative ACKs trigger fast retransmit of
+//     the whole unacked range (go-back-N, not SACK — the window is a
+//     handful of chunks, so selective repeat would buy little realism
+//     for considerably more machinery).
+//
+// Retransmitted chunks charge the sender's segmentation cost
+// (SiteTxSend) and transmit-completion work like any send, but do not
+// touch the flow-control window (the original transmission still owns
+// those credits) and do not re-enter the stream ledger's In side.
+package tcp
+
+import (
+	"fmt"
+	"time"
+
+	"ioatsim/internal/check"
+	"ioatsim/internal/fault"
+	"ioatsim/internal/nic"
+	"ioatsim/internal/sim"
+	"ioatsim/internal/trace"
+)
+
+// Recovery defaults, used for plan fields left at zero.
+const (
+	defaultRTOMin       = time.Millisecond
+	defaultRTOMax       = 100 * time.Millisecond
+	defaultDupAckThresh = 3
+	defaultMaxRetries   = 24
+)
+
+// txSeg is one transmitted-and-unacked chunk on a connection's
+// retransmission queue, pooled on the sending stack.
+type txSeg struct {
+	seq     int64
+	bytes   int
+	sentAt  sim.Time
+	rexmits int
+}
+
+// ackEv is one in-flight cumulative acknowledgment, pooled on the
+// receiving stack (the side that allocates it).
+type ackEv struct {
+	conn *Conn // receiving endpoint; the ACK lands on its peer
+	ack  int64
+}
+
+// EnableRecovery arms the stack's loss-recovery machine for the given
+// plan, resolving zero-valued tuning knobs to the package defaults. Host
+// construction calls it once per node when a cluster is built with a
+// fault plan; a nil plan leaves the stack on the lossless fast path.
+func (st *Stack) EnableRecovery(p *fault.Plan) {
+	if p == nil {
+		return
+	}
+	st.fp = p
+	st.rtoMin = p.RTOMin
+	if st.rtoMin == 0 {
+		st.rtoMin = defaultRTOMin
+	}
+	st.rtoMax = p.RTOMax
+	if st.rtoMax == 0 {
+		st.rtoMax = defaultRTOMax
+	}
+	if st.rtoMax < st.rtoMin {
+		st.rtoMax = st.rtoMin
+	}
+	st.dupAckThresh = p.DupAckThresh
+	if st.dupAckThresh == 0 {
+		st.dupAckThresh = defaultDupAckThresh
+	}
+	switch {
+	case p.MaxRetries < 0:
+		st.maxRetries = -1
+	case p.MaxRetries == 0:
+		st.maxRetries = defaultMaxRetries
+	default:
+		st.maxRetries = p.MaxRetries
+	}
+	if st.chk != nil {
+		st.chk.OnFinish(st.auditRecovery)
+	}
+}
+
+// auditRecovery runs at Finish on checked runs: every byte the NIC
+// handed up was either accepted exactly once or discarded, and every
+// connection's acknowledged prefix was actually received by its peer —
+// exactly-once delivery, asserted end-to-end at any cutoff point.
+func (st *Stack) auditRecovery(ck *check.Checker) {
+	ck.Assert(st.DeliveredUpBytes == st.AcceptedBytes+st.RxDiscardBytes,
+		"tcp", "%s delivered %d bytes up, but accepted %d + discarded %d",
+		st.Name, st.DeliveredUpBytes, st.AcceptedBytes, st.RxDiscardBytes)
+	for _, c := range st.conns {
+		ck.Assert(c.sndUna <= c.sndNxt,
+			"tcp", "%s flow %d acked past its send horizon (una %d, nxt %d)",
+			st.Name, c.flowID, c.sndUna, c.sndNxt)
+		ck.Assert(len(c.rtxq)-c.rtxHead >= 0,
+			"tcp", "%s flow %d negative retransmit queue", st.Name, c.flowID)
+		if c.peer != nil {
+			ck.Assert(c.sndUna <= c.peer.rcvNxt && c.peer.rcvNxt <= c.sndNxt,
+				"tcp", "%s flow %d acked prefix %d outside peer's received stream [%d..%d]",
+				st.Name, c.flowID, c.sndUna, c.peer.rcvNxt, c.sndNxt)
+		}
+	}
+}
+
+// trackSeg records one freshly transmitted chunk on the retransmission
+// queue and makes sure the RTO timer is running.
+func (st *Stack) trackSeg(c *Conn, seq int64, bytes int) {
+	var sg *txSeg
+	if k := len(st.segFree); k > 0 {
+		sg = st.segFree[k-1]
+		st.segFree = st.segFree[:k-1]
+	} else {
+		sg = &txSeg{}
+	}
+	now := st.S.Now()
+	sg.seq, sg.bytes, sg.sentAt, sg.rexmits = seq, bytes, now, 0
+	if c.rtxHead > 0 && len(c.rtxq) == cap(c.rtxq) {
+		k := copy(c.rtxq, c.rtxq[c.rtxHead:])
+		c.rtxq = c.rtxq[:k]
+		c.rtxHead = 0
+	}
+	wasEmpty := c.rtxHead == len(c.rtxq)
+	c.rtxq = append(c.rtxq, sg)
+	if c.rto == 0 {
+		// No RTT sample yet: start conservative (RFC 6298 uses a full
+		// second). A timid initial timer fires spuriously the moment a
+		// window's worth of queueing delays the first ACK, and spurious
+		// retransmits would perturb even a lossless run.
+		c.rto = st.rtoMax
+	}
+	if wasEmpty {
+		// Timer semantics: one timer per connection, armed for the
+		// oldest unacked segment.
+		c.rtoDeadline = now.Add(c.rto)
+	}
+	st.armRTO(c, c.rtoDeadline)
+}
+
+// armRTO makes sure one (and only one) timer event is pending for the
+// connection. The deadline moves forward as ACKs arrive; the event
+// lazily re-schedules itself instead of being cancelled.
+func (st *Stack) armRTO(c *Conn, at sim.Time) {
+	if c.rtoScheduled {
+		return
+	}
+	c.rtoScheduled = true
+	st.S.ScheduleArg(at.Sub(st.S.Now()), rtoFire, c)
+}
+
+// rtoFire is the pre-bound retransmission-timer event.
+func rtoFire(a any) {
+	c := a.(*Conn)
+	st := c.stack
+	c.rtoScheduled = false
+	if c.sndUna == c.sndNxt {
+		// Everything acked; the timer dies and trackSeg re-arms it on
+		// the next transmission.
+		return
+	}
+	now := st.S.Now()
+	if now < c.rtoDeadline {
+		// ACK progress pushed the deadline out while this event was in
+		// flight; chase it.
+		st.armRTO(c, c.rtoDeadline)
+		return
+	}
+	st.Timeouts++
+	c.retries++
+	if st.maxRetries >= 0 && c.retries > st.maxRetries {
+		msg := fmt.Sprintf(
+			"tcp: %s flow %d: %d consecutive retransmission timeouts without progress (una %d, nxt %d) — fabric unrecoverable",
+			st.Name, c.flowID, c.retries-1, c.sndUna, c.sndNxt)
+		if st.chk != nil {
+			st.chk.Failf("tcp", "%s", msg)
+		}
+		panic(msg)
+	}
+	if st.obs != nil {
+		st.obs.Instant(trace.TidTCP, trace.SiteTCPRTO, int64(c.retries))
+	}
+	c.rto *= 2
+	if c.rto > st.rtoMax {
+		c.rto = st.rtoMax
+	}
+	c.dupAcks = 0
+	st.retransmitUnacked(c)
+	c.rtoDeadline = now.Add(c.rto)
+	st.armRTO(c, c.rtoDeadline)
+}
+
+// retransmitUnacked re-sends the whole unacked range (go-back-N). The
+// CPU pays the segmentation cost up front on the sender, then the chunks
+// enter the fabric. Segment values are copied out of the queue: by the
+// time the work drains, ACKs may have recycled the records.
+func (st *Stack) retransmitUnacked(c *Conn) {
+	n := len(c.rtxq) - c.rtxHead
+	if n == 0 {
+		return
+	}
+	type resend struct {
+		seq   int64
+		bytes int
+	}
+	batch := make([]resend, 0, n)
+	var work time.Duration
+	var total int64
+	for i := c.rtxHead; i < len(c.rtxq); i++ {
+		sg := c.rtxq[i]
+		sg.rexmits++
+		batch = append(batch, resend{sg.seq, sg.bytes})
+		work += st.NIC.TxCost(sg.bytes)
+		total += int64(sg.bytes)
+	}
+	st.Retransmits += int64(n)
+	st.RetransmitBytes += total
+	if st.chk != nil {
+		st.chk.Ledger("tcp:retx").In(total)
+	}
+	st.CPU.SubmitSite(trace.SiteTxSend, work, func() {
+		for _, rs := range batch {
+			st.sendRetx(c, rs.seq, rs.bytes)
+		}
+	})
+}
+
+// sendRetx puts one retransmitted chunk on the wire. Unlike a fresh
+// send it does not consume window credits and does not re-enter the
+// stream ledger — the original transmission owns both.
+func (st *Stack) sendRetx(c *Conn, seq int64, bytes int) {
+	pm := st.P
+	lc := st.chunkPool.Get()
+	lc.Seq = seq
+	lc.Bytes = bytes
+	lc.Frames = pm.Frames(bytes)
+	lc.WireBytes = pm.WireBytes(bytes)
+	lc.Meta = c.peer
+	st.NIC.Port(c.localPort).Send(c.peer.stack.NIC.Port(c.peerPort), lc)
+	if st.obs != nil {
+		st.obs.Instant(trace.TidTCP, trace.SiteTCPRetx, int64(bytes))
+	}
+	st.NIC.TxComplete(c.localPort, c, bytes)
+}
+
+// acceptChunk is the receiver-side recovery gate, called from onReceive
+// before any queueing: accept the chunk iff it is the next in-order
+// stream offset, discard (and re-ACK) otherwise. Returns whether the
+// caller should continue with normal delivery.
+func (st *Stack) acceptChunk(c *Conn, rx *nic.RxChunk) bool {
+	seq, n := rx.Chunk.Seq, rx.Chunk.Bytes
+	st.DeliveredUpBytes += int64(n)
+	if seq != c.rcvNxt {
+		// A gap (the go-back-N sender will resend everything from the
+		// hole) or a duplicate from a spurious retransmit. Either way
+		// the bytes never reach the stream ledger's Out side.
+		st.RxDiscards++
+		st.RxDiscardBytes += int64(n)
+		if st.obs != nil {
+			st.obs.Instant(trace.TidTCP, trace.SiteTCPDiscard, int64(n))
+		}
+		st.sendAck(c)
+		rx.Free()
+		return false
+	}
+	c.rcvNxt += int64(n)
+	st.AcceptedBytes += int64(n)
+	st.sendAck(c)
+	return true
+}
+
+// sendAck schedules a cumulative acknowledgment of everything received
+// in order so far. ACKs ride a reliable path and charge no CPU (see the
+// package comment in this file); dropping or pricing them would make a
+// benign plan perturb the lossless-fabric timings.
+func (st *Stack) sendAck(c *Conn) {
+	var ev *ackEv
+	if k := len(st.ackFree); k > 0 {
+		ev = st.ackFree[k-1]
+		st.ackFree = st.ackFree[:k-1]
+	} else {
+		ev = &ackEv{}
+	}
+	ev.conn, ev.ack = c, c.rcvNxt
+	st.S.ScheduleArg(st.P.PropDelay, ackArrive, ev)
+}
+
+// ackArrive is the pre-bound ACK-arrival event on the sending side.
+func ackArrive(a any) {
+	ev := a.(*ackEv)
+	rcv := ev.conn
+	snd := rcv.peer
+	ack := ev.ack
+	rst := rcv.stack
+	ev.conn = nil
+	rst.ackFree = append(rst.ackFree, ev)
+
+	st := snd.stack
+	switch {
+	case ack > snd.sndUna:
+		st.ackAdvance(snd, ack)
+	case ack == snd.sndUna && snd.sndUna < snd.sndNxt:
+		snd.dupAcks++
+		if snd.dupAcks >= st.dupAckThresh {
+			snd.dupAcks = 0
+			st.FastRetransmits++
+			if st.obs != nil {
+				st.obs.Instant(trace.TidTCP, trace.SiteTCPRetx, 0)
+			}
+			st.retransmitUnacked(snd)
+		}
+	}
+	// ack < sndUna: stale, ignore.
+}
+
+// ackAdvance applies cumulative-ACK progress: pop fully-acked segments,
+// take an RTT sample from a never-retransmitted one (Karn's rule), and
+// restart the timer for whatever remains.
+func (st *Stack) ackAdvance(c *Conn, ack int64) {
+	now := st.S.Now()
+	if st.chk != nil {
+		st.chk.Assert(ack <= c.sndNxt,
+			"tcp", "%s flow %d acked %d beyond send horizon %d",
+			st.Name, c.flowID, ack, c.sndNxt)
+	}
+	sample := time.Duration(-1)
+	for c.rtxHead < len(c.rtxq) {
+		sg := c.rtxq[c.rtxHead]
+		if sg.seq+int64(sg.bytes) > ack {
+			break
+		}
+		if sample < 0 && sg.rexmits == 0 {
+			sample = now.Sub(sg.sentAt)
+		}
+		c.rtxq[c.rtxHead] = nil
+		c.rtxHead++
+		*sg = txSeg{}
+		st.segFree = append(st.segFree, sg)
+	}
+	if c.rtxHead == len(c.rtxq) {
+		c.rtxq = c.rtxq[:0]
+		c.rtxHead = 0
+	} else if st.chk != nil {
+		// Cumulative ACKs always land on chunk boundaries: the receiver
+		// only accepts whole sender chunks, so an ACK splitting a
+		// tracked segment means the two sides disagree on segmentation.
+		st.chk.Assert(c.rtxq[c.rtxHead].seq == ack,
+			"tcp", "%s flow %d ack %d splits segment at %d",
+			st.Name, c.flowID, ack, c.rtxq[c.rtxHead].seq)
+	}
+	c.sndUna = ack
+	c.dupAcks = 0
+	c.retries = 0
+	if sample >= 0 {
+		// Jacobson: srtt/rttvar EWMA with the standard 1/8 and 1/4 gains.
+		if c.srtt == 0 {
+			c.srtt = sample
+			c.rttvar = sample / 2
+		} else {
+			diff := c.srtt - sample
+			if diff < 0 {
+				diff = -diff
+			}
+			c.rttvar += (diff - c.rttvar) / 4
+			c.srtt += (sample - c.srtt) / 8
+		}
+		// RFC 6298 with the clock-granularity term: the variance decays
+		// to zero on a jitter-free fabric, and srtt alone is a deadline
+		// the expected ACK lands exactly on. The rtoMin floor on the
+		// margin keeps steady-state jitter from reading as loss.
+		margin := 4 * c.rttvar
+		if margin < st.rtoMin {
+			margin = st.rtoMin
+		}
+		rto := c.srtt + margin
+		if rto < st.rtoMin {
+			rto = st.rtoMin
+		}
+		if rto > st.rtoMax {
+			rto = st.rtoMax
+		}
+		c.rto = rto
+	}
+	if c.sndUna < c.sndNxt {
+		// Timer restart for the new oldest-unacked segment.
+		c.rtoDeadline = now.Add(c.rto)
+	}
+}

@@ -10,9 +10,13 @@
 //     either by the CPU (through the cache) or by the I/OAT engine
 //     (startup cost only, overlapped).
 //
-// Flow control is credit-based with a window of one socket buffer; the
-// fabric is lossless, so there is no retransmission (the paper's testbed
-// is a switched LAN measured in steady state).
+// Flow control is credit-based with a window of one socket buffer. The
+// fabric is lossless by default (the paper's testbed is a switched LAN
+// measured in steady state) and the transport then runs a no-retransmit
+// fast path; under a fault plan (internal/fault) each stack additionally
+// arms a minimal loss-recovery machine — per-connection retransmission
+// queue, cumulative ACKs, RTO with exponential backoff and bounded
+// retries, and duplicate-ACK fast retransmit (see recovery.go).
 package tcp
 
 import (
@@ -23,6 +27,7 @@ import (
 	"ioatsim/internal/cost"
 	"ioatsim/internal/cpu"
 	"ioatsim/internal/dma"
+	"ioatsim/internal/fault"
 	"ioatsim/internal/ioat"
 	"ioatsim/internal/link"
 	"ioatsim/internal/mem"
@@ -53,9 +58,31 @@ type Stack struct {
 	pendFree   []*pending
 	creditFree []*creditEv
 
+	// Loss recovery (recovery.go). fp == nil is the lossless fabric and
+	// gates every recovery branch with one pointer compare; EnableRecovery
+	// resolves the plan's RTO/retry knobs into the derived fields.
+	fp           *fault.Plan
+	rtoMin       time.Duration
+	rtoMax       time.Duration
+	dupAckThresh int
+	maxRetries   int // negative = unlimited
+	segFree      []*txSeg
+	ackFree      []*ackEv
+	conns        []*Conn
+
 	// Stats.
 	BytesSent     int64
 	BytesReceived int64
+
+	// Recovery stats (all zero under a nil or benign plan).
+	Retransmits      int64 // segment groups retransmitted
+	RetransmitBytes  int64
+	FastRetransmits  int64 // dup-ack-triggered recovery rounds
+	Timeouts         int64 // RTO firings
+	RxDiscards       int64 // out-of-order/duplicate chunks discarded
+	RxDiscardBytes   int64
+	AcceptedBytes    int64 // in-order bytes accepted into the stream
+	DeliveredUpBytes int64 // everything the NIC handed up (accepted + discarded)
 
 	chk *check.Checker
 	obs *trace.Obs
@@ -168,6 +195,24 @@ type Conn struct {
 	window    int
 	inflight  int
 	txWaiters []*sim.Proc
+
+	// Loss recovery (recovery.go); all idle when the stack has no fault
+	// plan. sndUna..sndNxt is the unacked stream range, tracked segment
+	// by segment in rtxq (consumed from rtxHead like rxq); rcvNxt is the
+	// next in-order stream offset this endpoint accepts.
+	sndUna  int64
+	sndNxt  int64
+	rcvNxt  int64
+	rtxq    []*txSeg
+	rtxHead int
+	dupAcks int
+	retries int // consecutive RTOs without cumulative-ack progress
+
+	rto          time.Duration
+	srtt         time.Duration
+	rttvar       time.Duration
+	rtoScheduled bool
+	rtoDeadline  sim.Time
 }
 
 // Peer returns the other endpoint of the connection.
@@ -196,7 +241,7 @@ func (c *Conn) LocalPort() int { return c.localPort }
 // remote port rp.
 func (st *Stack) newConn(lp, rp int) *Conn {
 	st.nextFlow++
-	return &Conn{
+	c := &Conn{
 		stack:     st,
 		flowID:    st.nextFlow,
 		state:     st.Mem.Space.Alloc(st.P.ConnStateLines*st.P.CacheLine, 0),
@@ -204,6 +249,10 @@ func (st *Stack) newConn(lp, rp int) *Conn {
 		peerPort:  rp,
 		window:    st.P.SockBuf,
 	}
+	if st.fp != nil {
+		st.conns = append(st.conns, c)
+	}
+	return c
 }
 
 // Dial establishes a connection from this stack to the named service on
@@ -296,6 +345,11 @@ func (c *Conn) SendOpts(p *sim.Proc, src mem.Buffer, n int, opts SendOptions) {
 		lc.Frames = pm.Frames(chunk)
 		lc.WireBytes = pm.WireBytes(chunk)
 		lc.Meta = c.peer
+		if st.fp != nil {
+			lc.Seq = c.sndNxt
+			st.trackSeg(c, c.sndNxt, chunk)
+			c.sndNxt += int64(chunk)
+		}
 		st.NIC.Port(c.localPort).Send(c.peer.stack.NIC.Port(c.peerPort), lc)
 		if st.obs != nil {
 			st.obs.Instant(trace.TidTCP, trace.SiteTCPSegment, int64(chunk))
@@ -314,6 +368,9 @@ func (st *Stack) onReceive(rx *nic.RxChunk) {
 	c, ok := rx.Flow.(*Conn)
 	if !ok {
 		panic("tcp: chunk for foreign flow")
+	}
+	if st.fp != nil && !st.acceptChunk(c, rx) {
+		return
 	}
 	var pd *pending
 	if k := len(st.pendFree); k > 0 {

@@ -62,6 +62,11 @@ const (
 	SiteLinkChunk  // wire occupancy span of one chunk
 	SiteMissBurst  // one priced operation missed many lines at once
 	SiteProcRun    // process run slice (scheduler hand-off)
+	SiteLinkDrop   // fault plane ate a chunk on the wire
+	SiteNICDrop    // receive ring overflowed, chunk dropped at the NIC
+	SiteTCPRetx    // transport retransmitted unacked segments
+	SiteTCPRTO     // retransmission timer fired (arg: consecutive count)
+	SiteTCPDiscard // receiver discarded an out-of-order or duplicate chunk
 
 	// Memory-pricing detail (profiler only): how the copy/header work
 	// inside the CPU sites splits between cache hits and DRAM.
@@ -79,6 +84,7 @@ var siteNames = [numSites]string{
 	"dma-submit", "page-pin", "tx-complete", "ack-proc",
 	"nic-rx", "tcp-segment", "tcp-deliver", "dma-xfer", "link-chunk",
 	"miss-burst", "proc-run",
+	"link-drop", "nic-drop", "tcp-retx", "tcp-rto", "tcp-discard",
 	"copy-in-cache", "copy-miss", "header-in-cache", "header-miss",
 	"dca-evict",
 }

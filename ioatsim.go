@@ -31,6 +31,7 @@ import (
 	"ioatsim/internal/bench"
 	"ioatsim/internal/cost"
 	"ioatsim/internal/datacenter"
+	"ioatsim/internal/fault"
 	"ioatsim/internal/host"
 	"ioatsim/internal/ioat"
 	"ioatsim/internal/ipc"
@@ -118,6 +119,29 @@ type ClusterOption = host.Option
 // run is audited for byte conservation, event causality and cache
 // structure, and Cluster.Verify reports the verdict at the end.
 func WithCheck() ClusterOption { return host.WithCheck() }
+
+// WithStrictCheck is WithCheck upgraded to fail-fast: the first
+// violated invariant panics at the virtual time it happens instead of
+// at the end-of-run verdict.
+func WithStrictCheck() ClusterOption { return host.WithStrictCheck() }
+
+// ---- fault injection ----
+
+// FaultPlan is a deterministic, seed-derived fault schedule: per-link
+// Bernoulli or Gilbert-Elliott frame loss, a periodic drop mask, link
+// flap windows, NIC rx-ring overflow and degraded (slowed) nodes. A
+// non-nil plan also arms the transport's recovery machinery (RTO with
+// exponential backoff, duplicate-ACK fast retransmit). The zero plan
+// injects nothing and reproduces a lossless run byte-for-byte.
+type FaultPlan = fault.Plan
+
+// ParseFaultSpec parses a CLI-style plan spec such as
+// "loss=0.001,flap=10ms/1ms,slow=2@0.5" (see internal/fault for the
+// full key list).
+func ParseFaultSpec(spec string) (FaultPlan, error) { return fault.ParseSpec(spec) }
+
+// WithFault installs the plan on every node the cluster builds.
+func WithFault(plan FaultPlan) ClusterOption { return host.WithFault(plan) }
 
 // ---- observability ----
 
