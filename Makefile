@@ -61,16 +61,17 @@ bench:
 
 # Gate NEW against OLD: non-zero exit if the sequential wall clock
 # regressed by more than 10% (override with MAX_REGRESS).
-OLD ?= BENCH_PR3.json
-NEW ?= BENCH_PR6.json
+OLD ?= BENCH_PR6.json
+NEW ?= BENCH_PR8.json
 MAX_REGRESS ?= 0.10
 bench-compare:
 	$(GO) run ./cmd/benchcompare -max-regress $(MAX_REGRESS) $(OLD) $(NEW)
 
-# Hot-path microbenchmarks: event core, cache model, end-to-end packet
-# path. allocs/op must be 0 on every steady-state path.
+# Hot-path microbenchmarks: event core, context resume cost (goroutine
+# handoff vs continuation), cache model, end-to-end packet path.
+# allocs/op must be 0 on every steady-state path.
 sim-bench:
-	$(GO) test -bench='BenchmarkSchedule|BenchmarkRunHotLoop' -benchmem -run='^$$' ./internal/sim/
+	$(GO) test -bench='BenchmarkSchedule|BenchmarkRunHotLoop|BenchmarkProcResume|BenchmarkTaskResume' -benchmem -run='^$$' ./internal/sim/
 	$(GO) test -bench='BenchmarkAccessRange|BenchmarkAccessLines|BenchmarkInvalidate' -benchmem -run='^$$' ./internal/mem/
 	$(GO) test -bench='BenchmarkSteadyStatePacketPath' -benchmem -run='^$$' ./internal/tcp/
 

@@ -1,18 +1,26 @@
 // Command benchcompare diffs two bench.sh reports (BENCH_PR<N>.json)
-// and fails on a wall-clock regression.
+// and fails on a performance regression.
 //
 // Usage:
 //
 //	benchcompare [-max-regress 0.10] OLD.json NEW.json
 //
 // The reports must be at the same scale (comparing different workload
-// sizes is meaningless). The gate is the sequential cold-cache wall
-// clock: NEW may be at most (1+max-regress) times OLD. Event counts are
-// compared informationally — a change there means the simulation
-// itself changed, which timing alone cannot judge.
+// sizes is meaningless). Two gates share the budget:
 //
-// Exit status: 0 comparable and within budget, 1 wall-clock regression
-// beyond the budget, 2 reports unreadable or not comparable.
+//   - wall clock: NEW wall_s may be at most (1+max-regress) times OLD;
+//   - throughput: NEW events_per_s may be at most (1+max-regress) times
+//     slower than OLD (i.e. new >= old/(1+max-regress)). Wall clock
+//     alone can hide an engine regression when the event count shrinks,
+//     so per-event throughput is gated too. Skipped when OLD predates
+//     the events_per_s field.
+//
+// Event and proc-switch counts are compared informationally — a change
+// there means the simulation itself changed, which timing alone cannot
+// judge.
+//
+// Exit status: 0 comparable and within budget, 1 regression beyond the
+// budget, 2 reports unreadable or not comparable.
 package main
 
 import (
@@ -26,13 +34,14 @@ import (
 // comparison uses; unknown fields are ignored so older reports (without
 // warm-cache or scheduler stats) still load.
 type report struct {
-	PR          int     `json:"pr"`
-	Scale       float64 `json:"scale"`
-	WallS       float64 `json:"wall_s"`
-	WarmWallS   float64 `json:"warm_wall_s"`
-	Events      float64 `json:"events"`
-	EventsPerS  float64 `json:"events_per_s"`
-	PeakPending float64 `json:"peak_pending"`
+	PR           int     `json:"pr"`
+	Scale        float64 `json:"scale"`
+	WallS        float64 `json:"wall_s"`
+	WarmWallS    float64 `json:"warm_wall_s"`
+	Events       float64 `json:"events"`
+	EventsPerS   float64 `json:"events_per_s"`
+	PeakPending  float64 `json:"peak_pending"`
+	ProcSwitches float64 `json:"proc_switches"`
 }
 
 func load(path string) (report, error) {
@@ -91,12 +100,31 @@ func main() {
 			if oldR.PeakPending > 0 || newR.PeakPending > 0 {
 				fmt.Printf("%-16s %12.0f %12.0f %9s\n", "peak_pending", oldR.PeakPending, newR.PeakPending, delta(oldR.PeakPending, newR.PeakPending))
 			}
+			if oldR.ProcSwitches > 0 || newR.ProcSwitches > 0 {
+				fmt.Printf("%-16s %12.0f %12.0f %9s\n", "proc_switches", oldR.ProcSwitches, newR.ProcSwitches, delta(oldR.ProcSwitches, newR.ProcSwitches))
+			}
 			if newR.Events != oldR.Events {
 				fmt.Printf("note: event counts differ — the simulation changed, not just its speed\n")
 			}
+			fail := false
 			if limit := oldR.WallS * (1 + *maxRegress); newR.WallS > limit {
 				fmt.Fprintf(os.Stderr, "benchcompare: FAIL: wall clock %.3fs exceeds %.3fs (old %.3fs + %.0f%% budget)\n",
 					newR.WallS, limit, oldR.WallS, *maxRegress*100)
+				fail = true
+			}
+			// Wall clock alone can mask an engine regression when the
+			// workload shrinks, so gate per-event throughput with the same
+			// budget — unless the old report predates the field.
+			if oldR.EventsPerS > 0 && newR.EventsPerS > 0 {
+				if floor := oldR.EventsPerS / (1 + *maxRegress); newR.EventsPerS < floor {
+					fmt.Fprintf(os.Stderr, "benchcompare: FAIL: throughput %.0f events/s below %.0f (old %.0f - %.0f%% budget)\n",
+						newR.EventsPerS, floor, oldR.EventsPerS, *maxRegress*100)
+					fail = true
+				}
+			} else {
+				fmt.Printf("note: events_per_s missing from a report — throughput gate skipped\n")
+			}
+			if fail {
 				os.Exit(1)
 			}
 			fmt.Printf("OK: within the %.0f%% regression budget\n", *maxRegress*100)

@@ -77,6 +77,12 @@ type jsonReport struct {
 	Speedup     float64      `json:"speedup"`
 	Events      uint64       `json:"events"`
 	EventsPerS  float64      `json:"events_per_s"`
+	// ProcSwitches counts event-loop-to-goroutine handoffs: wakes that
+	// crossed a channel into a parked process goroutine rather than
+	// running as continuations on the event loop. Each handoff costs two
+	// host context switches, so this is exactly the scheduler overhead
+	// the continuation-passing hot loops remove.
+	ProcSwitches uint64 `json:"proc_switches"`
 	// PeakPending is the deepest scheduler pending-event set any
 	// simulation reached — the depth the timing wheel absorbed.
 	PeakPending uint64 `json:"peak_pending"`
@@ -247,6 +253,7 @@ func main() {
 	}
 	start := time.Now()
 	ev0 := sim.GlobalExecuted()
+	ps0 := sim.GlobalProcSwitches()
 	results := sweep.Run(*parallel, len(runners), func(i int) timed {
 		t0 := time.Now()
 		res := runners[i].Run(cfg)
@@ -254,6 +261,7 @@ func main() {
 	})
 	wall := time.Since(start)
 	events := sim.GlobalExecuted() - ev0
+	procSwitches := sim.GlobalProcSwitches() - ps0
 	eventsPerS := float64(events) / wall.Seconds()
 
 	var cum time.Duration
@@ -297,20 +305,21 @@ func main() {
 
 	if *jsonOut {
 		report := jsonReport{
-			Scale:       *scale,
-			Seed:        *seed,
-			Parallel:    *parallel,
-			Workers:     sweep.Workers(*parallel),
-			GoMaxProcs:  runtime.GOMAXPROCS(0),
-			NumCPU:      runtime.NumCPU(),
-			WallSeconds: wall.Seconds(),
-			CPUSeconds:  cum.Seconds(),
-			Speedup:     speedup,
-			Events:      events,
-			EventsPerS:  eventsPerS,
-			PeakPending: sim.GlobalPeakPending(),
-			CacheHits:   cacheHits,
-			CacheMisses: cacheMisses,
+			Scale:        *scale,
+			Seed:         *seed,
+			Parallel:     *parallel,
+			Workers:      sweep.Workers(*parallel),
+			GoMaxProcs:   runtime.GOMAXPROCS(0),
+			NumCPU:       runtime.NumCPU(),
+			WallSeconds:  wall.Seconds(),
+			CPUSeconds:   cum.Seconds(),
+			Speedup:      speedup,
+			Events:       events,
+			EventsPerS:   eventsPerS,
+			ProcSwitches: procSwitches,
+			PeakPending:  sim.GlobalPeakPending(),
+			CacheHits:    cacheHits,
+			CacheMisses:  cacheMisses,
 		}
 		for _, r := range results {
 			s := r.res.Series
@@ -346,5 +355,6 @@ func main() {
 	}
 	fmt.Printf("total: %d experiments, %.1fs of experiment time in %.1fs wall (%.1fx, %d workers)\n",
 		len(results), cum.Seconds(), wall.Seconds(), speedup, sweep.Workers(*parallel))
-	fmt.Printf("events: %d dispatched, %.2fM events/s\n", events, eventsPerS/1e6)
+	fmt.Printf("events: %d dispatched, %.2fM events/s, %d goroutine handoffs\n",
+		events, eventsPerS/1e6, procSwitches)
 }

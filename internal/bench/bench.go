@@ -183,25 +183,26 @@ type stream struct {
 	opts             tcp.SendOptions
 }
 
-// launch starts the stream's sender and receiver processes; they run
-// until the simulation stops.
+// launch starts the stream's sender and receiver loops as event-driven
+// continuations (zero goroutine handoffs in steady state); they run
+// until the simulation stops. The loops still register as threads —
+// they model the same ttcp threads as before; only the host-side
+// scheduling cost is gone.
 func (sp stream) launch() {
 	s := sp.from.S
 	ca, cb := tcp.Pair(sp.from.Stack, sp.to.Stack, sp.portFrom, sp.portTo)
 	src := sp.from.Buf(min(sp.msg, 256*cost.KB))
 	dst := sp.to.Buf(min(sp.msg, 256*cost.KB))
 	sp.from.CPU.RegisterThread()
-	s.Spawn(fmt.Sprintf("tx-%s-%d", sp.from.Name, sp.portFrom), func(p *sim.Proc) {
-		for {
-			ca.SendOpts(p, src, sp.msg, sp.opts)
-		}
-	})
+	tx := tcp.NewSender(ca, s.NewTask(fmt.Sprintf("tx-%s-%d", sp.from.Name, sp.portFrom)))
+	var txLoop func()
+	txLoop = func() { tx.SendOpts(src, sp.msg, sp.opts, txLoop) }
+	tx.Task().Start(txLoop)
 	sp.to.CPU.RegisterThread()
-	s.Spawn(fmt.Sprintf("rx-%s-%d", sp.to.Name, sp.portTo), func(p *sim.Proc) {
-		for {
-			cb.Recv(p, dst, sp.msg)
-		}
-	})
+	rx := tcp.NewReceiver(cb, s.NewTask(fmt.Sprintf("rx-%s-%d", sp.to.Name, sp.portTo)))
+	var rxLoop func()
+	rxLoop = func() { rx.Recv(dst, sp.msg, rxLoop) }
+	rx.Task().Start(rxLoop)
 }
 
 // microResult captures one measured configuration. The fields are

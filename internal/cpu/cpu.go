@@ -184,6 +184,33 @@ func (c *CPU) ExecOnSite(p *sim.Proc, i int, site trace.Site, d time.Duration) {
 	}
 }
 
+// ExecTask is the continuation-passing form of Exec: it enqueues d of
+// work on the least-loaded core for task t and returns false if the work
+// completes at the current instant (the caller continues inline, exactly
+// as Exec returns without sleeping). Otherwise it installs cont as t's
+// continuation, schedules t's wake at the completion time — the same
+// single event a blocked Proc's Sleep would push — and returns true: the
+// caller must suspend.
+func (c *CPU) ExecTask(t *sim.Task, cont func(), d time.Duration) bool {
+	return c.ExecTaskOnSite(t, cont, c.pick(), trace.SiteApp, d)
+}
+
+// ExecTaskSite is ExecTask with an explicit attribution site.
+func (c *CPU) ExecTaskSite(t *sim.Task, cont func(), site trace.Site, d time.Duration) bool {
+	return c.ExecTaskOnSite(t, cont, c.pick(), site, d)
+}
+
+// ExecTaskOnSite is ExecTaskSite on a specific core.
+func (c *CPU) ExecTaskOnSite(t *sim.Task, cont func(), i int, site trace.Site, d time.Duration) bool {
+	end := c.enqueue(i, d, site)
+	if end.Sub(t.Now()) <= 0 {
+		return false
+	}
+	t.OnWake(cont)
+	t.WakeAt(end)
+	return true
+}
+
 // busyUpTo returns total busy time across cores up to time t. Queued work
 // occupies each core contiguously from now to nextFree, so the cumulative
 // counter only needs correcting for the not-yet-elapsed tail.

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"ioatsim/internal/host"
-	"ioatsim/internal/httpm"
 	"ioatsim/internal/ioat"
 	"ioatsim/internal/msg"
 	"ioatsim/internal/sim"
@@ -63,17 +62,13 @@ func RunEmulated(o Options, threads int) Metrics {
 		trace := newTrace(cl, catalog, o)
 		clientNode.CPU.RegisterThread()
 		cl.S.Spawn(fmt.Sprintf("emu%d", t), func(p *sim.Proc) {
+			// Cold path: dial on the setup proc, then hand the loop to a
+			// continuation state machine (async.go) and let the proc die.
 			conn := clientNode.Stack.Dial(p, webNode.Stack, "http", t%6, t%6)
 			mc := msg.Wrap(conn)
 			dst := clientNode.Buf(o.FileSize)
-			for {
-				// The emulated client is a proxy worker: it pays the
-				// proxy's per-request application work.
-				clientNode.CPU.Exec(p, clientTier.appWork(ProxyFixedWork))
-				httpm.WriteRequest(p, mc, httpm.Request{Path: trace.Next()})
-				httpm.ReadResponse(p, mc, dst)
-				completed++
-			}
+			startEmuWorker(cl.S.NewTask(p.Name()), clientNode, clientTier,
+				mc, trace, dst, &completed)
 		})
 	}
 	return measure(cl, o, &completed, nil, web, clientTier)
@@ -98,30 +93,18 @@ func newTrace(cl *host.Cluster, catalog *workload.Catalog, o Options) workload.T
 }
 
 // startWebTier runs the web server's accept loop; each connection gets a
-// dedicated worker thread (the Apache worker model).
+// dedicated worker (the Apache worker model) running as a continuation
+// state machine — startWebWorker schedules the same single start event
+// the old per-connection Spawn did.
 func startWebTier(web *Tier) {
 	l := web.Node.Stack.Listen("http")
 	web.Node.S.Spawn("web-accept", func(p *sim.Proc) {
 		for i := 0; ; i++ {
 			conn := l.Accept(p)
 			web.Node.CPU.RegisterThread()
-			web.Node.S.Spawn(fmt.Sprintf("web-worker%d", i), func(wp *sim.Proc) {
-				webWorker(wp, web, msg.Wrap(conn))
-			})
+			startWebWorker(web, conn, fmt.Sprintf("web-worker%d", i))
 		}
 	})
-}
-
-func webWorker(p *sim.Proc, web *Tier, mc *msg.Conn) {
-	for {
-		req := httpm.ReadRequest(p, mc)
-		web.Node.CPU.Exec(p, web.appWork(WebFixedWork))
-		f := web.FS.MustOpen(req.Path)
-		// Static content goes out sendfile-style: zero copy from the
-		// page cache.
-		httpm.WriteResponse(p, mc, httpm.Response{Status: 200, Path: req.Path},
-			f.Size(), f.Buf, true)
-	}
 }
 
 // startProxyTier runs the proxy's accept loop; each client connection
@@ -134,32 +117,10 @@ func startProxyTier(proxy, web *Tier, cache *contentCache, o Options) {
 			proxy.Node.CPU.RegisterThread()
 			i := i
 			proxy.Node.S.Spawn(fmt.Sprintf("proxy-worker%d", i), func(wp *sim.Proc) {
-				proxyWorker(wp, i, proxy, web, cache, msg.Wrap(conn), o)
+				startProxyWorker(wp, i, proxy, web, cache, msg.Wrap(conn), o)
 			})
 		}
 	})
-}
-
-func proxyWorker(p *sim.Proc, idx int, proxy, web *Tier, cache *contentCache, client *msg.Conn, o Options) {
-	backend := msg.Wrap(proxy.Node.Stack.Dial(p, web.Node.Stack, "http", idx%6, idx%6))
-	buf := proxy.Node.Buf(o.FileSize + httpm.RequestBytes)
-	for {
-		req := httpm.ReadRequest(p, client)
-		proxy.Node.CPU.Exec(p, proxy.appWork(ProxyFixedWork))
-
-		if cbuf, hit := cache.Get(req.Path); hit {
-			httpm.WriteResponse(p, client, httpm.Response{Status: 200, Path: req.Path},
-				cbuf.Size, cbuf, false)
-			continue
-		}
-
-		httpm.WriteRequest(p, backend, req)
-		resp, n := httpm.ReadResponse(p, backend, buf)
-		if cbuf, ok := cache.Put(req.Path, n); ok {
-			proxy.Node.CPU.Exec(p, proxy.Node.Mem.CopyCost(buf.Addr, cbuf.Addr, n))
-		}
-		httpm.WriteResponse(p, client, resp, n, buf, false)
-	}
 }
 
 // launchClient starts one closed-loop client thread on a client node.
@@ -170,11 +131,7 @@ func launchClient(node, server *host.Node, port int, name string,
 		conn := node.Stack.Dial(p, server.Stack, "http", 0, port)
 		mc := msg.Wrap(conn)
 		dst := node.Buf(fileSize)
-		for {
-			httpm.WriteRequest(p, mc, httpm.Request{Path: trace.Next()})
-			httpm.ReadResponse(p, mc, dst)
-			*completed++
-		}
+		startClientWorker(node.S.NewTask(p.Name()), mc, trace, dst, completed)
 	})
 }
 

@@ -11,7 +11,6 @@ import (
 	"ioatsim/internal/mem"
 	"ioatsim/internal/msg"
 	"ioatsim/internal/sim"
-	"ioatsim/internal/tcp"
 )
 
 // The paper's §5.1 names three workload classes and evaluates two; this
@@ -82,28 +81,10 @@ func startDBTier(n *host.Node) *dbTier {
 		for i := 0; ; i++ {
 			conn := l.Accept(p)
 			n.CPU.RegisterThread()
-			n.S.Spawn(fmt.Sprintf("db-worker%d", i), func(wp *sim.Proc) {
-				db.worker(wp, msg.Wrap(conn))
-			})
+			startDBWorker(db, conn, fmt.Sprintf("db-worker%d", i))
 		}
 	})
 	return db
-}
-
-func (db *dbTier) worker(p *sim.Proc, mc *msg.Conn) {
-	lines := db.table.Size / db.node.P.CacheLine
-	for {
-		env := mc.Recv(p, mem.Buffer{})
-		q := env.Meta.(dbQuery)
-		work := DBQueryWork
-		// The record: DBRecordBytes of dependent accesses at a
-		// key-determined position in the table.
-		recLines := DBRecordBytes / db.node.P.CacheLine
-		base := (q.Key * 37) % (lines - recLines)
-		work += db.node.Mem.RandomCost(db.table.Addr+mem.Addr(base*db.node.P.CacheLine), recLines)
-		db.node.CPU.Exec(p, work)
-		mc.Send(p, "row", DBRecordBytes, mem.Buffer{}, tcp.SendOptions{})
-	}
 }
 
 // startAppTier runs the application servers: per-connection workers that
@@ -116,33 +97,10 @@ func startAppTier(app *Tier, db *host.Node, o ThreeTierOptions) {
 			app.Node.CPU.RegisterThread()
 			i := i
 			app.Node.S.Spawn(fmt.Sprintf("app-worker%d", i), func(wp *sim.Proc) {
-				appWorker(wp, i, app, db, msg.Wrap(conn), o)
+				startAppWorker(wp, i, app, db, msg.Wrap(conn), o)
 			})
 		}
 	})
-}
-
-func appWorker(p *sim.Proc, idx int, app *Tier, db *host.Node, client *msg.Conn, o ThreeTierOptions) {
-	dbConn := msg.Wrap(app.Node.Stack.Dial(p, db.Stack, "db", idx%6, idx%6))
-	page := app.Node.Buf(o.ResponseBytes)
-	rows := app.Node.Buf(DBRecordBytes)
-	reqNo := 0
-	for {
-		req := httpm.ReadRequest(p, client)
-		reqNo++
-		// Script execution: fixed cost plus working-set touches.
-		app.Node.CPU.Exec(p, app.appWork(AppScriptWork))
-		// Fan out the queries (sequential, as PHP/CGI scripts do).
-		for q := 0; q < o.QueriesPerRequest; q++ {
-			dbConn.Send(p, dbQuery{Key: idx*1000 + reqNo*7 + q}, 96, mem.Buffer{}, tcp.SendOptions{})
-			dbConn.Recv(p, rows)
-		}
-		// Render: assemble the page from the rows (a pass over the
-		// response buffer).
-		app.Node.CPU.Exec(p, app.Node.Mem.TouchCost(page.Addr, o.ResponseBytes))
-		httpm.WriteResponse(p, client, httpm.Response{Status: 200, Path: req.Path},
-			o.ResponseBytes, page, false)
-	}
 }
 
 // RunThreeTier builds and measures the dynamic-content configuration:
@@ -173,13 +131,7 @@ func RunThreeTier(o ThreeTierOptions) ThreeTierMetrics {
 				backend := msg.Wrap(proxyNode.Stack.Dial(wp, appNode.Stack, "app", i%6, i%6))
 				buf := proxyNode.Buf(o.ResponseBytes + httpm.RequestBytes)
 				client := msg.Wrap(conn)
-				for {
-					req := httpm.ReadRequest(wp, client)
-					proxyNode.CPU.Exec(wp, proxy.appWork(ProxyFixedWork))
-					httpm.WriteRequest(wp, backend, req)
-					resp, n := httpm.ReadResponse(wp, backend, buf)
-					httpm.WriteResponse(wp, client, resp, n, buf, false)
-				}
+				startFwdWorker(proxyNode.S.NewTask(wp.Name()), proxy, client, backend, buf)
 			})
 		}
 	})

@@ -177,43 +177,18 @@ func (iod *IOD) serve() {
 		for i := 0; ; i++ {
 			conn := l.Accept(p)
 			iod.Node.CPU.RegisterThread()
-			iod.Node.S.Spawn(fmt.Sprintf("%s-w%d", service, i), func(wp *sim.Proc) {
-				iod.worker(wp, msg.Wrap(conn))
-			})
+			startIODWorker(iod, conn, fmt.Sprintf("%s-w%d", service, i))
 		}
 	})
 }
 
-// worker services one client connection: reads stream file data from the
-// local ramfs to the socket (read + write, the PVFS1 data path), writes
-// land in the local ramfs after the socket receive.
-func (iod *IOD) worker(p *sim.Proc, mc *msg.Conn) {
-	node := iod.Node
-	for {
-		env := mc.Recv(p, iod.staging)
-		req := env.Meta.(iodReq)
-		node.CPU.Exec(p, ReqProc)
-		f := iod.FS.MustOpen(req.Name)
-		switch req.Op {
-		case opRead:
-			// read(): page cache -> staging buffer, then send.
-			node.CPU.Exec(p, iod.FS.ReadCost(f, req.Off, req.Len, iod.staging.Addr))
-			mc.Send(p, "data", req.Len, iod.staging, tcp.SendOptions{})
-		case opWrite:
-			// Data arrived with the request envelope into staging;
-			// write(): staging -> page cache, then ack.
-			node.CPU.Exec(p, iod.FS.WriteCost(f, req.Off, req.Len, iod.staging.Addr))
-			mc.Send(p, "ack", 0, mem.Buffer{}, tcp.SendOptions{})
-		}
-	}
-}
-
 // Client is one compute node's PVFS client library instance.
 type Client struct {
-	sys   *System
-	node  *host.Node
-	mgr   *msg.Conn
-	conns []*msg.Conn // one per iod
+	sys     *System
+	node    *host.Node
+	mgr     *msg.Conn
+	conns   []*msg.Conn   // one per iod
+	workers []*spanWorker // one per iod, reused across Read/Write calls
 }
 
 // NewClient connects a compute node to the system, one connection per
@@ -229,6 +204,9 @@ func NewClient(p *sim.Proc, node *host.Node, sys *System) *Client {
 		conn := node.Stack.Dial(p, iod.Node.Stack,
 			fmt.Sprintf("pvfs-iod%d", i), i%ports, iod.Port)
 		c.conns = append(c.conns, msg.Wrap(conn))
+	}
+	for i := range c.conns {
+		c.workers = append(c.workers, newSpanWorker(c, i))
 	}
 	return c
 }
@@ -293,8 +271,10 @@ func (c *Client) Write(p *sim.Proc, m FileMeta, off, n int, src mem.Buffer) {
 	c.parallelIO(p, m, off, n, src, opWrite)
 }
 
-// parallelIO fans the spans out to per-server worker processes and waits
-// for all of them — the PVFS client library's parallel data path.
+// parallelIO fans the spans out to the per-server span workers
+// (continuation state machines, async.go) and waits for all of them —
+// the PVFS client library's parallel data path. Each worker's Start
+// pushes the one event the old per-call Spawn pushed.
 func (c *Client) parallelIO(p *sim.Proc, m FileMeta, off, n int, buf mem.Buffer, op opKind) {
 	if n <= 0 {
 		return
@@ -309,24 +289,8 @@ func (c *Client) parallelIO(p *sim.Proc, m FileMeta, off, n int, buf mem.Buffer,
 		if len(list) == 0 {
 			continue
 		}
-		srv, list := srv, list
 		wg.Add(1)
-		c.node.S.Spawn(fmt.Sprintf("pvfs-io-%s-%d", m.Name, srv), func(wp *sim.Proc) {
-			mc := c.conns[srv]
-			for _, sp := range list {
-				switch op {
-				case opRead:
-					mc.Send(wp, iodReq{Op: opRead, Name: m.Name, Off: sp.localOff, Len: sp.len},
-						128, mem.Buffer{}, tcp.SendOptions{})
-					mc.Recv(wp, buf)
-				case opWrite:
-					mc.Send(wp, iodReq{Op: opWrite, Name: m.Name, Off: sp.localOff, Len: sp.len},
-						sp.len, buf, tcp.SendOptions{})
-					mc.Recv(wp, mem.Buffer{})
-				}
-			}
-			wg.Done()
-		})
+		c.workers[srv].start(m, op, buf, list, wg, fmt.Sprintf("pvfs-io-%s-%d", m.Name, srv))
 	}
 	wg.Wait(p)
 }

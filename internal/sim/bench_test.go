@@ -77,6 +77,48 @@ func BenchmarkRunHotLoop(b *testing.B) {
 	}
 }
 
+// BenchmarkProcResume measures one Proc wake: the event dispatch plus the
+// channel handoff to the parked goroutine and back (two host context
+// switches). This is the per-blocking-point cost the continuation API
+// removes; compare with BenchmarkTaskResume.
+func BenchmarkProcResume(b *testing.B) {
+	s := New()
+	n := 0
+	s.Spawn("p", func(p *Proc) {
+		for n = 0; n < b.N; n++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.Run()
+	if n != b.N {
+		b.Fatalf("resumed %d times, want %d", n, b.N)
+	}
+}
+
+// BenchmarkTaskResume measures one Task wake: the same event shape as a
+// Proc wake, but the continuation runs directly on the event-loop
+// goroutine — no channel handoff, no goroutine switch.
+func BenchmarkTaskResume(b *testing.B) {
+	s := New()
+	t := s.NewTask("t")
+	n := 0
+	t.OnWake(func() {
+		n++
+		if n < b.N {
+			t.WakeAfter(time.Microsecond)
+		}
+	})
+	t.WakeAfter(time.Microsecond)
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.Run()
+	if n != b.N {
+		b.Fatalf("resumed %d times, want %d", n, b.N)
+	}
+}
+
 // BenchmarkScheduleArg is BenchmarkSchedule through the pre-bound
 // (func(any), arg) form the packet paths use. The argument is a live
 // pointer, so boxing it into the event must not allocate either.

@@ -64,6 +64,7 @@ func (s *Simulator) runProc(p *Proc) {
 	if s.procProbe != nil {
 		s.procProbe.ProcRun(p.name, s.now)
 	}
+	s.procSwitches++
 	prev := s.current
 	s.current = p
 	p.resume <- struct{}{}
@@ -107,7 +108,7 @@ func (p *Proc) Yield() { p.Sleep(0) }
 type completion struct {
 	sim    *Simulator
 	done   bool
-	waiter *Proc
+	waiter any // *Proc or *Task
 }
 
 // NewCompletion returns a one-shot completion bound to the simulator.
@@ -130,7 +131,7 @@ func (c *Completion) Complete() {
 	c.c.done = true
 	if w := c.c.waiter; w != nil {
 		c.c.waiter = nil
-		c.c.sim.ScheduleArg(0, resumeProc, w)
+		c.c.sim.WakeAny(w)
 	}
 }
 
@@ -148,7 +149,7 @@ func (c *Completion) Reset() {
 	c.c.done = false
 }
 
-// Wait parks p until Complete is called. Only one process may wait.
+// Wait parks p until Complete is called. Only one waiter may wait.
 func (c *Completion) Wait(p *Proc) {
 	if c.c.done {
 		return
@@ -158,4 +159,21 @@ func (c *Completion) Wait(p *Proc) {
 	}
 	c.c.waiter = p
 	p.park()
+}
+
+// WaitTask is Wait for an event-driven continuation: if the completion
+// has already fired it returns false and the caller continues inline
+// (mirroring Wait's immediate return); otherwise it installs cont as t's
+// continuation, registers t as the waiter, and returns true — the caller
+// must suspend, and Complete will wake t.
+func (c *Completion) WaitTask(t *Task, cont func()) bool {
+	if c.c.done {
+		return false
+	}
+	if c.c.waiter != nil {
+		panic("sim: second waiter on completion")
+	}
+	t.OnWake(cont)
+	c.c.waiter = t
+	return true
 }

@@ -213,6 +213,12 @@ type Simulator struct {
 	// flushed marks how much of it has been added to globalExecuted.
 	executed uint64
 	flushed  uint64
+
+	// procSwitches counts event-loop-to-goroutine handoffs (runProc
+	// calls); flushedSwitches marks how much of it has been published to
+	// globalProcSwitches. Task wakes never count.
+	procSwitches    uint64
+	flushedSwitches uint64
 }
 
 // flushExecuted publishes this simulator's not-yet-reported event count
@@ -221,6 +227,10 @@ func (s *Simulator) flushExecuted() {
 	if d := s.executed - s.flushed; d > 0 {
 		globalExecuted.Add(d)
 		s.flushed = s.executed
+	}
+	if d := s.procSwitches - s.flushedSwitches; d > 0 {
+		globalProcSwitches.Add(d)
+		s.flushedSwitches = s.procSwitches
 	}
 	for p := uint64(s.stats.PeakPending); ; {
 		cur := globalPeakPending.Load()
@@ -250,6 +260,11 @@ func (s *Simulator) InstalledProbe() Probe { return s.probe }
 
 // Executed reports how many events have been dispatched so far.
 func (s *Simulator) Executed() uint64 { return s.executed }
+
+// ProcSwitches reports how many goroutine handoffs (process wakes) this
+// simulator has performed so far. Task wakes are ordinary events and do
+// not count.
+func (s *Simulator) ProcSwitches() uint64 { return s.procSwitches }
 
 // Pending reports how many events are scheduled but not yet dispatched.
 func (s *Simulator) Pending() int { return s.pending }

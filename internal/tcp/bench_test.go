@@ -6,7 +6,6 @@ import (
 
 	"ioatsim/internal/cost"
 	"ioatsim/internal/ioat"
-	"ioatsim/internal/sim"
 )
 
 // BenchmarkSteadyStatePacketPath streams messages between two nodes and
@@ -33,36 +32,44 @@ func BenchmarkSteadyStatePacketPath(b *testing.B) {
 			src := na.buf(64 * cost.KB)
 			dst := nb.buf(64 * cost.KB)
 
+			// The streaming loops run on the continuation API — the same
+			// machinery the figure experiments use in steady state. All
+			// construction (state machines, loop closures) happens here,
+			// before the warm-up.
+			tx := NewSender(ca, s.NewTask("tx"))
+			rx := NewReceiver(cb, s.NewTask("rx"))
+			txLeft, rxLeft, received := 0, 0, 0
+			var txLoop, rxLoop func()
+			txLoop = func() {
+				if txLeft == 0 {
+					return
+				}
+				txLeft--
+				tx.Send(src, msg, txLoop)
+			}
+			rxDone := func() { received++; rxLoop() }
+			rxLoop = func() {
+				if rxLeft == 0 {
+					return
+				}
+				rxLeft--
+				rx.Recv(dst, msg, rxDone)
+			}
+
 			// Warm-up run to full drain: free lists only reach their
 			// high-water mark when all in-flight traffic retires, so the
 			// warm phase must include its own drain tail for every slice
 			// (chunk pool, pending pool, event arena) to reach final
 			// capacity before the measured burst starts.
 			const warm = 64
-			s.Spawn("warm-tx", func(pr *sim.Proc) {
-				for i := 0; i < warm; i++ {
-					ca.Send(pr, src, msg)
-				}
-			})
-			s.Spawn("warm-rx", func(pr *sim.Proc) {
-				for i := 0; i < warm; i++ {
-					cb.Recv(pr, dst, msg)
-				}
-			})
+			txLeft, rxLeft = warm, warm
+			tx.Task().Start(txLoop)
+			rx.Task().Start(rxLoop)
 			s.Run()
 
-			received := 0
-			s.Spawn("tx", func(pr *sim.Proc) {
-				for i := 0; i < b.N; i++ {
-					ca.Send(pr, src, msg)
-				}
-			})
-			s.Spawn("rx", func(pr *sim.Proc) {
-				for i := 0; i < b.N; i++ {
-					cb.Recv(pr, dst, msg)
-					received++
-				}
-			})
+			txLeft, rxLeft, received = b.N, b.N, 0
+			tx.Task().Start(txLoop)
+			rx.Task().Start(rxLoop)
 
 			b.ReportAllocs()
 			runtime.GC()

@@ -187,14 +187,14 @@ type Conn struct {
 	rxq         []*pending
 	rxqHead     int
 	rxAvail     int
-	rxWaiter    *sim.Proc
+	rxWaiter    any  // *sim.Proc or *sim.Task, woken via WakeAny
 	posted      bool // a recv is posted (enables eager DMA submit)
 	doneScratch []*pending
 
-	// Transmit side (flow control).
+	// Transmit side (flow control). Waiters are *sim.Proc or *sim.Task.
 	window    int
 	inflight  int
-	txWaiters []*sim.Proc
+	txWaiters []any
 
 	// Loss recovery (recovery.go); all idle when the stack has no fault
 	// plan. sndUna..sndNxt is the unacked stream range, tracked segment
@@ -407,7 +407,7 @@ func (st *Stack) onReceive(rx *nic.RxChunk) {
 	}
 	if w := c.rxWaiter; w != nil {
 		c.rxWaiter = nil
-		st.S.Wake(w)
+		st.S.WakeAny(w)
 	}
 }
 
@@ -587,7 +587,7 @@ func applyCredit(a any) {
 		w := peer.txWaiters[0]
 		k := copy(peer.txWaiters, peer.txWaiters[1:])
 		peer.txWaiters = peer.txWaiters[:k]
-		peer.stack.S.Wake(w)
+		peer.stack.S.WakeAny(w)
 	}
 	st := c.stack
 	ev.conn = nil

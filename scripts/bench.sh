@@ -4,9 +4,11 @@
 #
 # The headline number is the sequential full-suite wall clock at the
 # given scale (default 0.25) with a cold point cache, plus engine
-# throughput in events/sec and the scheduler's peak pending depth.
-# BASELINE_WALL_S is the same measurement taken at the pre-optimization
-# commit (a71f7d5, PR 3) on the same machine.
+# throughput in events/sec, goroutine handoffs (proc_switches) and the
+# scheduler's peak pending depth. BASELINE_WALL_S is the same
+# measurement taken at the pre-optimization commit on the same machine;
+# override both via the environment when re-baselining:
+#   BASELINE_WALL_S=12.3 BASELINE_COMMIT=abc1234 scripts/bench.sh
 #
 # A second sequential run against the now-warm point cache measures the
 # cache's effect (warm_wall_s, with its hit/miss counts), and a parallel
@@ -14,16 +16,16 @@
 # must depend on neither the worker count nor the cache.
 # Usage: scripts/bench.sh [scale] [outfile]
 #   scale   defaults to 0.25
-#   outfile defaults to BENCH_PR6.json (pass BENCH_PR<N>.json per PR)
+#   outfile defaults to BENCH_PR8.json (pass BENCH_PR<N>.json per PR)
 set -eu
 
 cd "$(dirname "$0")/.."
 SCALE="${1:-0.25}"
-OUT="${2:-BENCH_PR6.json}"
+OUT="${2:-BENCH_PR8.json}"
 PR="$(basename "$OUT" | sed -n 's/^BENCH_PR\([0-9][0-9]*\)\.json$/\1/p')"
 PR="${PR:-0}"
-BASELINE_WALL_S=15.3
-BASELINE_COMMIT=a71f7d5
+BASELINE_WALL_S="${BASELINE_WALL_S:-15.84}"
+BASELINE_COMMIT="${BASELINE_COMMIT:-67df8da}"
 TMP="$(mktemp -d)"
 BIN="$TMP/ioatbench"
 CACHE="$TMP/pointcache"
@@ -49,7 +51,7 @@ echo "parallel run, no cache (scale $SCALE, one worker per core)..." >&2
 strip_timing() {
     grep -v '"wall' "$1" |
         grep -v '"speedup"\|"parallel"\|"workers"\|"experiment_s"\|"events_per_s"' |
-        grep -v '"events"\|"peak_pending"\|"cache_hits"\|"cache_misses"' >"$2"
+        grep -v '"events"\|"peak_pending"\|"proc_switches"\|"cache_hits"\|"cache_misses"' >"$2"
 }
 strip_timing "$seq_json" "$seq_json.tables"
 strip_timing "$par_json" "$par_json.tables"
@@ -73,6 +75,7 @@ events_per_s=$(extract "$seq_json" events_per_s)
 go_maxprocs=$(extract "$seq_json" go_maxprocs)
 num_cpu=$(extract "$seq_json" num_cpu)
 peak_pending=$(extract "$seq_json" peak_pending)
+proc_switches=$(extract "$seq_json" proc_switches)
 cache_hits=$(extract "$warm_json" cache_hits)
 cache_misses=$(extract "$warm_json" cache_misses)
 cut=$(awk -v base="$BASELINE_WALL_S" -v now="$seq_s" \
@@ -96,10 +99,11 @@ cat >"$OUT" <<EOF
   "events": $events,
   "events_per_s": $events_per_s,
   "peak_pending": $peak_pending,
+  "proc_switches": $proc_switches,
   "parallel_wall_s": $par_s,
   "workers": $workers,
   "go_maxprocs": $go_maxprocs,
   "num_cpu": $num_cpu
 }
 EOF
-echo "wrote $OUT: ${seq_s}s cold / ${warm_s}s warm vs ${BASELINE_WALL_S}s baseline (cuts ${cut} / ${warm_cut}); ${events} events, peak pending ${peak_pending}; warm cache ${cache_hits} hits, ${cache_misses} misses" >&2
+echo "wrote $OUT: ${seq_s}s cold / ${warm_s}s warm vs ${BASELINE_WALL_S}s baseline (cuts ${cut} / ${warm_cut}); ${events} events, ${proc_switches} goroutine handoffs, peak pending ${peak_pending}; warm cache ${cache_hits} hits, ${cache_misses} misses" >&2
