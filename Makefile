@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race golden fuzz-smoke bench-smoke trace-smoke fault-smoke bench bench-compare sim-bench profile clean
+.PHONY: all build vet test race golden fuzz-smoke bench-smoke trace-smoke fault-smoke serve-smoke bench bench-compare sim-bench profile clean
 
 all: build vet test
 
@@ -39,6 +39,12 @@ fault-smoke: build
 	$(GO) test . -run 'TestBenignFaultPlanDifferential'
 	$(GO) test ./internal/tcp -run 'TestLossyStreamStrict|TestZeroPlanInert'
 	@echo "fault-smoke OK"
+
+# Daemon smoke: boot ioatd, run a golden-config job over HTTP (the
+# served table must match testdata/golden/), hit the shared point cache
+# on a resubmit, and drain cleanly on SIGTERM.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # A fast end-to-end pass over every experiment: shapes only, tiny scale.
 bench-smoke: build

@@ -35,6 +35,8 @@ import (
 // warm-cache or scheduler stats) still load.
 type report struct {
 	PR           int     `json:"pr"`
+	Commit       string  `json:"commit"`
+	TimestampUTC string  `json:"timestamp_utc"`
 	Scale        float64 `json:"scale"`
 	WallS        float64 `json:"wall_s"`
 	WarmWallS    float64 `json:"warm_wall_s"`
@@ -57,6 +59,15 @@ func load(path string) (report, error) {
 		return r, fmt.Errorf("%s: no wall_s field (not a bench.sh report?)", path)
 	}
 	return r, nil
+}
+
+// orUnknown substitutes a placeholder for provenance fields that old
+// reports lack.
+func orUnknown(s string) string {
+	if s == "" {
+		return "unknown"
+	}
+	return s
 }
 
 // delta formats the new-vs-old fractional change of a pair of values.
@@ -90,7 +101,11 @@ func main() {
 					oldR.Scale, newR.Scale)
 				os.Exit(2)
 			}
+			// Provenance first: which commits, measured when. Older
+			// reports predate the fields and print as "unknown".
 			fmt.Printf("%-16s %12s %12s %9s\n", "", flag.Arg(0), flag.Arg(1), "delta")
+			fmt.Printf("%-16s %12s %12s\n", "commit", orUnknown(oldR.Commit), orUnknown(newR.Commit))
+			fmt.Printf("%-16s %20s %20s\n", "measured", orUnknown(oldR.TimestampUTC), orUnknown(newR.TimestampUTC))
 			fmt.Printf("%-16s %12.3f %12.3f %9s\n", "wall_s", oldR.WallS, newR.WallS, delta(oldR.WallS, newR.WallS))
 			if oldR.WarmWallS > 0 && newR.WarmWallS > 0 {
 				fmt.Printf("%-16s %12.3f %12.3f %9s\n", "warm_wall_s", oldR.WarmWallS, newR.WarmWallS, delta(oldR.WarmWallS, newR.WarmWallS))

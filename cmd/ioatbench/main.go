@@ -24,15 +24,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"ioatsim/internal/bench"
@@ -164,11 +167,19 @@ func main() {
 	}
 
 	if *list {
+		// The same table the daemon serves at GET /v1/runners.
 		for _, r := range bench.Experiments() {
-			fmt.Printf("%-8s %s\n", r.ID, r.Title)
+			fmt.Printf("%-8s %-28s %s\n", r.ID, r.Title, r.Desc)
 		}
 		return
 	}
+
+	// Ctrl-C (or SIGTERM) cancels the run between sweep points: in-flight
+	// points finish, nothing new starts, and completed experiments still
+	// print before the non-zero exit.
+	ctx, stopSignals := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	// Observability sinks. The tracer and metrics registry record from the
 	// running simulation's goroutines, so they require sequential execution
@@ -223,7 +234,8 @@ func main() {
 	}
 
 	cfg := bench.Config{Seed: *seed, Scale: *scale, Parallel: *parallel,
-		Check: *checked, Strict: *strict, Fault: plan, Obs: obs, Cache: cache}
+		Check: *checked, Strict: *strict, Fault: plan, Obs: obs, Cache: cache,
+		Ctx: ctx}
 	runners := bench.Experiments()
 	if *run != "" {
 		runners = runners[:0:0]
@@ -254,12 +266,25 @@ func main() {
 	start := time.Now()
 	ev0 := sim.GlobalExecuted()
 	ps0 := sim.GlobalProcSwitches()
-	results := sweep.Run(*parallel, len(runners), func(i int) timed {
+	all, runErr := sweep.RunCtx(ctx, *parallel, len(runners), func(i int) timed {
 		t0 := time.Now()
-		res := runners[i].Run(cfg)
+		res, err := runners[i].RunContext(cfg)
+		if err != nil {
+			return timed{}
+		}
 		return timed{res: res, elapsed: time.Since(t0)}
 	})
 	wall := time.Since(start)
+	results := all[:0:0]
+	for _, r := range all {
+		if r.res != nil {
+			results = append(results, r)
+		}
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "ioatbench: interrupted after %d of %d experiments\n",
+			len(results), len(runners))
+	}
 	events := sim.GlobalExecuted() - ev0
 	procSwitches := sim.GlobalProcSwitches() - ps0
 	eventsPerS := float64(events) / wall.Seconds()
@@ -346,15 +371,21 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ioatbench: %v\n", err)
 			os.Exit(1)
 		}
+		if runErr != nil {
+			os.Exit(130)
+		}
 		return
 	}
 
-	for i, r := range results {
+	for _, r := range results {
 		fmt.Println(r.res.String())
-		fmt.Printf("(%s ran in %v)\n\n", runners[i].ID, r.elapsed.Round(time.Millisecond))
+		fmt.Printf("(%s ran in %v)\n\n", r.res.ID, r.elapsed.Round(time.Millisecond))
 	}
 	fmt.Printf("total: %d experiments, %.1fs of experiment time in %.1fs wall (%.1fx, %d workers)\n",
 		len(results), cum.Seconds(), wall.Seconds(), speedup, sweep.Workers(*parallel))
 	fmt.Printf("events: %d dispatched, %.2fM events/s, %d goroutine handoffs\n",
 		events, eventsPerS/1e6, procSwitches)
+	if runErr != nil {
+		os.Exit(130)
+	}
 }

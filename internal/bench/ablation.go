@@ -21,7 +21,7 @@ func AblRSS(cfg Config) *Result {
 		"I/OAT Mbps", "I/OAT-FULL Mbps", "I/OAT core0%", "I/OAT-FULL core0%")
 	type rssRow struct{ LinuxMbps, FullMbps, LinuxCore0, FullCore0 float64 }
 	params := func() *cost.Params {
-		p := cost.Default()
+		p := cfg.params()
 		p.MTU = 576
 		return p
 	}
@@ -64,7 +64,7 @@ func AblPin(cfg Config) *Result {
 	mults := []int{0, 1, 2, 4, 8, 16, 32}
 	type pinRow struct{ CPUCopy, DMACPU time.Duration }
 	params := func(i int) *cost.Params {
-		p := cost.Default()
+		p := cfg.params()
 		p.PinPerPage = time.Duration(mults[i]) * 150 * time.Nanosecond
 		return p
 	}
@@ -112,7 +112,7 @@ func AblCoal(cfg Config) *Result {
 	budgets := []int{1, 2, 4, 8, 16, 32}
 	type coalRow struct{ Light, Heavy microResult }
 	params := func(i int) *cost.Params {
-		p := cost.Default()
+		p := cfg.params()
 		p.CoalesceFrames = budgets[i]
 		return p
 	}

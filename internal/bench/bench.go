@@ -5,6 +5,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -64,6 +65,49 @@ type Config struct {
 	// configuration skip the simulation. Tables are byte-identical with
 	// or without it — the golden tests pin that.
 	Cache *sweep.PointCache
+
+	// Ctx, when non-nil, bounds the experiment's lifetime: once it is
+	// cancelled no further sweep point starts, the points in flight run
+	// to completion, and Runner.RunContext returns the context's error.
+	// Like Parallel it changes how a run executes, never what a finished
+	// run's tables say, so it stays out of the point-cache key. A nil
+	// Ctx means context.Background().
+	Ctx context.Context
+
+	// Costs overrides individual cost-model parameters by cost.Params
+	// field name, applied to the base parameter set every experiment
+	// starts from (figure-specific adjustments, e.g. Fig 5's socket
+	// cases, are applied on top and win on conflict). Overridden costs
+	// change the tables, so Costs joins the point-cache key.
+	Costs []CostOverride
+}
+
+// CostOverride renames one cost.Params field to a new value. Value is
+// interpreted per field kind: integers and byte counts are rounded,
+// time.Duration fields read Value as nanoseconds, bools as Value != 0.
+type CostOverride struct {
+	Field string  `json:"field"`
+	Value float64 `json:"value"`
+}
+
+// params returns the experiment's base parameter set: cost.Default()
+// with the config's overrides applied. It panics on an unknown or
+// non-numeric field — Request validation rejects bad overrides at the
+// API boundary, so reaching here with one is a programming error.
+func (c Config) params() *cost.Params {
+	p := cost.Default()
+	if err := ApplyCostOverrides(p, c.Costs); err != nil {
+		panic(fmt.Sprintf("bench: invalid cost override: %v", err))
+	}
+	return p
+}
+
+// context resolves the config's context.
+func (c Config) context() context.Context {
+	if c.Ctx == nil {
+		return context.Background()
+	}
+	return c.Ctx
 }
 
 // hostOpts translates the config into cluster-construction options.
@@ -128,39 +172,64 @@ func (r *Result) String() string {
 	return out
 }
 
-// Runner is a registered experiment.
+// Runner is a registered experiment. Desc is the one-line description
+// the CLI's -list and the daemon's GET /v1/runners both render — one
+// shared table, one source of truth.
 type Runner struct {
 	ID    string
 	Title string
+	Desc  string
 	Run   func(Config) *Result
 }
 
 // Experiments lists every reproducible figure in paper order.
 func Experiments() []Runner {
 	return []Runner{
-		{"fig3a", "Bandwidth vs. ports", Fig3a},
-		{"fig3b", "Bi-directional bandwidth vs. ports", Fig3b},
-		{"fig4", "Multi-stream bandwidth vs. threads", Fig4},
-		{"fig5a", "Sender-side optimizations: bandwidth", Fig5a},
-		{"fig5b", "Sender-side optimizations: bi-directional", Fig5b},
-		{"fig6", "CPU-based copy vs. DMA-based copy", Fig6},
-		{"fig7a", "I/OAT split-up: CPU benefit (16K-128K)", Fig7a},
-		{"fig7b", "I/OAT split-up: throughput (1M-8M)", Fig7b},
-		{"fig8a", "Data-center TPS: single-file traces", Fig8a},
-		{"fig8b", "Data-center TPS: Zipf traces", Fig8b},
-		{"fig9", "Data-center TPS vs. emulated clients", Fig9},
-		{"fig10a", "PVFS concurrent read, 6 I/O servers", Fig10a},
-		{"fig10b", "PVFS concurrent read, 5 I/O servers", Fig10b},
-		{"fig11a", "PVFS concurrent write, 6 I/O servers", Fig11a},
-		{"fig11b", "PVFS concurrent write, 5 I/O servers", Fig11b},
-		{"fig12", "PVFS multi-stream read", Fig12},
-		{"ablrss", "Ablation: multiple receive queues", AblRSS},
-		{"ablpin", "Ablation: page-pinning cost vs. DMA benefit", AblPin},
-		{"ablcoal", "Ablation: interrupt coalescing budget", AblCoal},
-		{"ext3tier", "Extension: 3-tier dynamic-content data-center", Ext3Tier},
-		{"extipc", "Extension: intra-node IPC via the copy engine", ExtIPC},
-		{"fault_loss", "Extension: goodput and CPU vs. loss rate", FaultLoss},
+		{"fig3a", "Bandwidth vs. ports", "unidirectional ttcp over 1..6 GbE ports, 64K messages; receiver CPU with and without I/OAT", Fig3a},
+		{"fig3b", "Bi-directional bandwidth vs. ports", "N streams each way over 1..6 ports; one node's CPU utilization", Fig3b},
+		{"fig4", "Multi-stream bandwidth vs. threads", "1..12 receiver threads round-robined over six ports, 16K messages", Fig4},
+		{"fig5a", "Sender-side optimizations: bandwidth", "cumulative socket-buffer/TSO/jumbo/coalescing cases, unidirectional", Fig5a},
+		{"fig5b", "Sender-side optimizations: bi-directional", "the same cases bi-directionally; Case 4 is the paper's 38% headline", Fig5b},
+		{"fig6", "CPU-based copy vs. DMA-based copy", "1K..64K copies: cached/uncached memcpy vs engine total, overhead and overlap", Fig6},
+		{"fig7a", "I/OAT split-up: CPU benefit (16K-128K)", "non-I/OAT vs DMA-only vs DMA+split-header at medium messages", Fig7a},
+		{"fig7b", "I/OAT split-up: throughput (1M-8M)", "the same split at cache-exceeding messages, where split headers pay", Fig7b},
+		{"fig8a", "Data-center TPS: single-file traces", "proxy+web two-tier TPS for 2K..10K single-file traces", Fig8a},
+		{"fig8b", "Data-center TPS: Zipf traces", "two-tier TPS under Zipf document popularity, alpha 0.95..0.5", Fig8b},
+		{"fig9", "Data-center TPS vs. emulated clients", "1..256 client threads against the web tier; the 4x concurrency result", Fig9},
+		{"fig10a", "PVFS concurrent read, 6 I/O servers", "parallel-FS read bandwidth and client CPU, 1..6 clients", Fig10a},
+		{"fig10b", "PVFS concurrent read, 5 I/O servers", "the same sweep with five I/O servers", Fig10b},
+		{"fig11a", "PVFS concurrent write, 6 I/O servers", "parallel-FS write bandwidth and server CPU, 1..6 clients", Fig11a},
+		{"fig11b", "PVFS concurrent write, 5 I/O servers", "the same sweep with five I/O servers", Fig11b},
+		{"fig12", "PVFS multi-stream read", "1..64 emulated clients on one compute node reading 2M regions", Fig12},
+		{"ablrss", "Ablation: multiple receive queues", "MTU 576 interrupt saturation vs RSS spreading flows across cores", AblRSS},
+		{"ablpin", "Ablation: page-pinning cost vs. DMA benefit", "sweeps per-page pin cost until the engine stops paying off (paper §7)", AblPin},
+		{"ablcoal", "Ablation: interrupt coalescing budget", "frames-per-interrupt budget under light and heavy load (paper §2.1)", AblCoal},
+		{"ext3tier", "Extension: 3-tier dynamic-content data-center", "proxy→app→database tiers swept over DB queries per request", Ext3Tier},
+		{"extipc", "Extension: intra-node IPC via the copy engine", "shared-memory channel, CPU copies vs engine copies (paper §7)", ExtIPC},
+		{"fault_loss", "Extension: goodput and CPU vs. loss rate", "the fig3a layout under 0..2% Bernoulli frame loss with go-back-N recovery", FaultLoss},
 	}
+}
+
+// canceled carries a context error out of a cancelled sweep; points
+// panics with it and RunContext converts it back into an error. Using a
+// private type keeps genuine point panics distinguishable.
+type canceled struct{ err error }
+
+// RunContext runs the experiment under cfg and converts a mid-sweep
+// context cancellation into an error instead of a panic. Every other
+// panic propagates unchanged. Callers that never set Config.Ctx can
+// keep calling Run directly.
+func (r Runner) RunContext(cfg Config) (res *Result, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if c, ok := rec.(canceled); ok {
+				err = c.err
+				return
+			}
+			panic(rec)
+		}
+	}()
+	return r.Run(cfg), nil
 }
 
 // Find returns the runner with the given id.
@@ -275,23 +344,30 @@ const cacheVersion = "ioatsim-v6"
 // key builds the content-addressed identity of one sweep point from the
 // code version, the figure/point discriminators (which must include the
 // point's cost.Params when the figure adjusts them), and the config
-// fields that reach the tables: Seed, Scale and the fault plan (a nil
+// fields that reach the tables: Seed, Scale, the fault plan (a nil
 // plan and the benign zero plan hash apart, but both produce the golden
-// tables — the differential test pins that). Parallel, Check, Strict,
-// Obs and Cache are deliberately excluded — they change how a run
-// executes or what it records, never what the tables say (the parallel
-// and golden tests pin that property).
+// tables — the differential test pins that) and the cost overrides.
+// Parallel, Check, Strict, Obs, Cache and Ctx are deliberately
+// excluded — they change how a run executes or what it records, never
+// what the tables say (the parallel and golden tests pin that
+// property).
 func (c Config) key(kind string, parts ...any) string {
-	return sweep.Key(cacheVersion, kind, c.Seed, c.Scale, c.Fault, parts)
+	return sweep.Key(cacheVersion, kind, c.Seed, c.Scale, c.Fault, c.Costs, parts)
 }
 
 // points runs fn for every point index of a figure, concurrently up to
 // cfg.Parallel workers, and returns the rows in point order. fn must
 // build all of its own state (cluster, cost.Params) per call. key gives
 // each point's cache identity (see Config.key); with cfg.Cache unset it
-// is never called.
+// is never called. A cancelled cfg.Ctx aborts the sweep between points
+// and unwinds the runner with a panic RunContext converts back into an
+// error.
 func points[T any](cfg Config, n int, key func(i int) string, fn func(i int) T) []T {
-	return sweep.CachedRun(cfg.Cache, cfg.Parallel, n, key, fn)
+	out, err := sweep.CachedRunCtx(cfg.context(), cfg.Cache, cfg.Parallel, n, key, fn)
+	if err != nil {
+		panic(canceled{err})
+	}
+	return out
 }
 
 func pct(x float64) float64 { return x * 100 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -66,10 +67,21 @@ func TestPointKeyConfigSensitivity(t *testing.T) {
 	if benignCfg.key("probe", 7) == k0 {
 		t.Error("a non-nil benign plan still keys separately from a nil plan")
 	}
+	costCfg := base
+	costCfg.Costs = []CostOverride{{Field: "MTU", Value: 2048}}
+	if costCfg.key("probe", 7) == k0 {
+		t.Error("Costs must reach the point key: overridden costs change the tables")
+	}
+	ctxCfg := base
+	ctxCfg.Ctx = context.Background()
+	if ctxCfg.key("probe", 7) != k0 {
+		t.Error("Ctx must not reach the point key (cancellation never alters a finished table)")
+	}
 
 	decided := map[string]bool{
-		"Seed": true, "Scale": true, "Fault": true,
+		"Seed": true, "Scale": true, "Fault": true, "Costs": true,
 		"Parallel": false, "Check": false, "Strict": false, "Obs": false, "Cache": false,
+		"Ctx": false,
 	}
 	rt := reflect.TypeOf(Config{})
 	for i := 0; i < rt.NumField(); i++ {

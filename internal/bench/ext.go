@@ -23,7 +23,7 @@ func Ext3Tier(cfg Config) *Result {
 	queryCounts := []int{1, 3, 5}
 	type tierRow struct{ Plain, Accel datacenter.ThreeTierMetrics }
 	rows := points(cfg, len(queryCounts), func(i int) string {
-		return cfg.key("ext3tier", queryCounts[i], cost.Default())
+		return cfg.key("ext3tier", queryCounts[i], cfg.params())
 	}, func(i int) tierRow {
 		run := func(feat ioat.Features) datacenter.ThreeTierMetrics {
 			o := datacenter.ThreeTierOptions{Options: dcOptions(cfg, feat)}
@@ -51,11 +51,11 @@ func ExtIPC(cfg Config) *Result {
 	sizes := []int{4 * cost.KB, 16 * cost.KB, 64 * cost.KB}
 	type ipcRow struct{ CPUMBps, EngMBps, CPUUtil, EngUtil float64 }
 	rows := points(cfg, len(sizes), func(i int) string {
-		return cfg.key("extipc", sizes[i], cost.Default())
+		return cfg.key("extipc", sizes[i], cfg.params())
 	}, func(i int) ipcRow {
 		size := sizes[i]
 		run := func(mode ipc.Mode) (float64, float64) {
-			cl := host.NewCluster(cost.Default(), cfg.Seed, cfg.hostOpts()...)
+			cl := host.NewCluster(cfg.params(), cfg.Seed, cfg.hostOpts()...)
 			n := cl.Add("n", ioat.Linux(), 1)
 			ch := ipc.New(n, size, 16)
 			ch.Mode = mode

@@ -43,11 +43,11 @@ func faultPoint(cfg Config, rate float64) faultRow {
 	pc.Fault = &fault.Plan{Seed: cfg.Seed, LossRate: rate,
 		RTOMin: 500 * time.Microsecond, RTOMax: 10 * time.Millisecond}
 	var row faultRow
-	row.Plain = runMicroWith(cost.Default(), ioat.None(), pc,
+	row.Plain = runMicroWith(pc.params(), ioat.None(), pc,
 		portStreams(6, 64*cost.KB, false), func(a, b *host.Node) {
 			row.PlainRetx = a.Stack.Retransmits
 		})
-	row.Accel = runMicroWith(cost.Default(), ioat.Full(), pc,
+	row.Accel = runMicroWith(pc.params(), ioat.Full(), pc,
 		portStreams(6, 64*cost.KB, false), func(a, b *host.Node) {
 			row.AccelRetx = a.Stack.Retransmits
 		})
@@ -66,7 +66,7 @@ func FaultLoss(cfg Config) *Result {
 		"non-I/OAT Mbps", "I/OAT Mbps", "non-I/OAT CPU%", "I/OAT CPU%",
 		"non-I/OAT retx", "I/OAT retx")
 	rows := points(cfg, len(faultLossRates), func(i int) string {
-		return cfg.key("fault_loss", faultLossRates[i], cost.Default())
+		return cfg.key("fault_loss", faultLossRates[i], cfg.params())
 	}, func(i int) faultRow {
 		return faultPoint(cfg, faultLossRates[i])
 	})

@@ -15,7 +15,7 @@ type pvfsPair struct{ Plain, Accel pvfs.Metrics }
 // pvfsOptions builds the shared PVFS options for one run.
 func pvfsOptions(cfg Config, feat ioat.Features) pvfs.Options {
 	return pvfs.Options{
-		P:      cost.Default(),
+		P:      cfg.params(),
 		Feat:   feat,
 		Seed:   cfg.Seed,
 		Check:  cfg.Check,
@@ -39,7 +39,7 @@ func pvfsSweep(cfg Config, iods int, write bool, id, title, note string) *Result
 		"non-I/OAT MB/s", "I/OAT MB/s", "tput benefit%",
 		"non-I/OAT "+cpuCol+" CPU%", "I/OAT "+cpuCol+" CPU%", "rel CPU benefit%")
 	rows := points(cfg, 6, func(i int) string {
-		return cfg.key(id, i+1, iods, write, cost.Default())
+		return cfg.key(id, i+1, iods, write, cfg.params())
 	}, func(i int) pvfsPair {
 		run := func(feat ioat.Features) pvfs.Metrics {
 			o := pvfsOptions(cfg, feat)
@@ -96,7 +96,7 @@ func Fig12(cfg Config) *Result {
 		"non-I/OAT MB/s", "I/OAT MB/s", "non-I/OAT client CPU%", "I/OAT client CPU%")
 	clientCounts := []int{1, 2, 4, 8, 16, 32, 64}
 	rows := points(cfg, len(clientCounts), func(i int) string {
-		return cfg.key("fig12", clientCounts[i], cost.Default())
+		return cfg.key("fig12", clientCounts[i], cfg.params())
 	}, func(i int) pvfsPair {
 		run := func(feat ioat.Features) pvfs.Metrics {
 			o := pvfsOptions(cfg, feat)

@@ -21,7 +21,7 @@ type fig6Row struct {
 // The platform features only matter in that the node must have a copy
 // engine.
 func fig6Point(cfg Config, size int) fig6Row {
-	cl, node, _ := host.Testbed1(cost.Default(), ioat.Linux(), cfg.Seed, cfg.hostOpts()...)
+	cl, node, _ := host.Testbed1(cfg.params(), ioat.Linux(), cfg.Seed, cfg.hostOpts()...)
 	row := fig6Row{Size: size}
 	cl.S.Spawn("fig6", func(p *sim.Proc) {
 		// copy-cache: warm both buffers first.
@@ -68,7 +68,7 @@ func Fig6(cfg Config) *Result {
 		sizes = append(sizes, size)
 	}
 	rows := points(cfg, len(sizes), func(i int) string {
-		return cfg.key("fig6", sizes[i], cost.Default())
+		return cfg.key("fig6", sizes[i], cfg.params())
 	}, func(i int) fig6Row {
 		return fig6Point(cfg, sizes[i])
 	})

@@ -39,9 +39,9 @@ func Fig7a(cfg Config) *Result {
 		"DMA CPU benefit%", "Split CPU benefit%")
 	msgs := []int{16 * cost.KB, 32 * cost.KB, 64 * cost.KB, 128 * cost.KB}
 	rows := points(cfg, len(msgs), func(i int) string {
-		return cfg.key("fig7a", msgs[i], cost.Default())
+		return cfg.key("fig7a", msgs[i], cfg.params())
 	}, func(i int) fig7Row {
-		plain, dmaOnly, split := fig7Run(cfg, cost.Default(), msgs[i])
+		plain, dmaOnly, split := fig7Run(cfg, cfg.params(), msgs[i])
 		return fig7Row{plain, dmaOnly, split}
 	})
 	for i, r := range rows {
@@ -65,7 +65,7 @@ func Fig7b(cfg Config) *Result {
 		"DMA tput benefit%", "Split tput benefit%")
 	msgs := []int{cost.MB, 2 * cost.MB, 4 * cost.MB, 8 * cost.MB}
 	params := func() *cost.Params {
-		p := cost.Default()
+		p := cfg.params()
 		p.SockBuf = cost.MB // large-message runs need deep socket buffers
 		return p
 	}

@@ -23,7 +23,7 @@ func dcOptions(cfg Config, feat ioat.Features) datacenter.Options {
 		warm = 40 * time.Millisecond
 	}
 	return datacenter.Options{
-		P:                cost.Default(),
+		P:                cfg.params(),
 		Feat:             feat,
 		Seed:             cfg.Seed,
 		ClientNodes:      16,
@@ -44,7 +44,7 @@ func Fig8a(cfg Config) *Result {
 		"non-I/OAT TPS", "I/OAT TPS", "TPS benefit%", "proxyCPU-non%", "proxyCPU-ioat%")
 	sizes := []int{2 * cost.KB, 4 * cost.KB, 6 * cost.KB, 8 * cost.KB, 10 * cost.KB}
 	rows := points(cfg, len(sizes), func(i int) string {
-		return cfg.key("fig8a", sizes[i], cost.Default())
+		return cfg.key("fig8a", sizes[i], cfg.params())
 	}, func(i int) dcPair {
 		run := func(feat ioat.Features) datacenter.Metrics {
 			o := dcOptions(cfg, feat)
@@ -70,7 +70,7 @@ func Fig8b(cfg Config) *Result {
 		"non-I/OAT TPS", "I/OAT TPS", "TPS benefit%")
 	alphas := []float64{0.95, 0.9, 0.75, 0.5}
 	rows := points(cfg, len(alphas), func(i int) string {
-		return cfg.key("fig8b", alphas[i], cost.Default())
+		return cfg.key("fig8b", alphas[i], cfg.params())
 	}, func(i int) dcPair {
 		run := func(feat ioat.Features) datacenter.Metrics {
 			o := dcOptions(cfg, feat)
@@ -98,7 +98,7 @@ func Fig9(cfg Config) *Result {
 		"non-I/OAT TPS", "I/OAT TPS", "non-I/OAT CPU%", "I/OAT CPU%", "TPS benefit%")
 	threadCounts := []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
 	rows := points(cfg, len(threadCounts), func(i int) string {
-		return cfg.key("fig9", threadCounts[i], cost.Default())
+		return cfg.key("fig9", threadCounts[i], cfg.params())
 	}, func(i int) dcPair {
 		run := func(feat ioat.Features) datacenter.Metrics {
 			o := dcOptions(cfg, feat)

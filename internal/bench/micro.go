@@ -45,9 +45,9 @@ func Fig3a(cfg Config) *Result {
 	series := stats.NewSeries("Fig 3a: Bandwidth", "Ports",
 		"non-I/OAT Mbps", "I/OAT Mbps", "non-I/OAT CPU%", "I/OAT CPU%", "rel CPU benefit%")
 	rows := points(cfg, 6, func(i int) string {
-		return cfg.key("fig3a", i+1, cost.Default())
+		return cfg.key("fig3a", i+1, cfg.params())
 	}, func(i int) pair {
-		return measurePair(cost.Default, cfg, portStreams(i+1, 64*cost.KB, false))
+		return measurePair(cfg.params, cfg, portStreams(i+1, 64*cost.KB, false))
 	})
 	for i, r := range rows {
 		series.Add(float64(i+1), "",
@@ -64,9 +64,9 @@ func Fig3b(cfg Config) *Result {
 	series := stats.NewSeries("Fig 3b: Bi-directional Bandwidth", "Ports",
 		"non-I/OAT Mbps", "I/OAT Mbps", "non-I/OAT CPU%", "I/OAT CPU%", "rel CPU benefit%")
 	rows := points(cfg, 6, func(i int) string {
-		return cfg.key("fig3b", i+1, cost.Default())
+		return cfg.key("fig3b", i+1, cfg.params())
 	}, func(i int) pair {
-		return measurePair(cost.Default, cfg, portStreams(i+1, 64*cost.KB, true))
+		return measurePair(cfg.params, cfg, portStreams(i+1, 64*cost.KB, true))
 	})
 	for i, r := range rows {
 		series.Add(float64(i+1), "",
@@ -85,10 +85,10 @@ func Fig4(cfg Config) *Result {
 		"non-I/OAT Mbps", "I/OAT Mbps", "non-I/OAT CPU%", "I/OAT CPU%", "rel CPU benefit%")
 	threadCounts := []int{1, 2, 4, 6, 8, 10, 12}
 	rows := points(cfg, len(threadCounts), func(i int) string {
-		return cfg.key("fig4", threadCounts[i], cost.Default())
+		return cfg.key("fig4", threadCounts[i], cfg.params())
 	}, func(i int) pair {
 		threads := threadCounts[i]
-		return measurePair(cost.Default, cfg, func(a, b *host.Node) []stream {
+		return measurePair(cfg.params, cfg, func(a, b *host.Node) []stream {
 			var ss []stream
 			for t := 0; t < threads; t++ {
 				ss = append(ss, stream{from: a, to: b, portFrom: t % 6, portTo: t % 6, msg: 16 * cost.KB})
@@ -111,12 +111,12 @@ type socketCase struct {
 	p    func() *cost.Params
 }
 
-// socketCases builds the paper's Case 1..5 parameter sets: default,
-// +1 MB socket buffers, +TSO, +jumbo frames (MTU 2048), +interrupt
-// coalescing.
-func socketCases() []socketCase {
+// socketCases builds the paper's Case 1..5 parameter sets on top of the
+// given base: default, +1 MB socket buffers, +TSO, +jumbo frames
+// (MTU 2048), +interrupt coalescing.
+func socketCases(base func() *cost.Params) []socketCase {
 	c1 := func() *cost.Params {
-		p := cost.Default()
+		p := base()
 		p.SockBuf = 64 * cost.KB
 		p.CoalesceFrames = 2
 		return p
@@ -151,7 +151,7 @@ func Fig5b(cfg Config) *Result {
 func fig5(cfg Config, bidir bool, id, title, note string) *Result {
 	series := stats.NewSeries(title, "Case",
 		"non-I/OAT Mbps", "I/OAT Mbps", "non-I/OAT CPU%", "I/OAT CPU%", "rel CPU benefit%")
-	cases := socketCases()
+	cases := socketCases(cfg.params)
 	rows := points(cfg, len(cases), func(i int) string {
 		return cfg.key("fig5", bidir, i+1, cases[i].p())
 	}, func(i int) pair {

@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Snapshot is the wall-clock sibling of Scope: a registry of named
+// instruments for long-running services, read on demand (an HTTP
+// /metrics handler) instead of sampled on a simulated-time tick.
+// Registration order is the export order, so dumps stay diffable.
+// Unlike Scope, every method is safe for concurrent use — a server's
+// handlers and workers observe from many goroutines.
+type Snapshot struct {
+	mu    sync.Mutex
+	order []string
+	fns   map[string]func() float64
+	hists map[string]*LockedHistogram
+}
+
+// NewSnapshot returns an empty snapshot registry.
+func NewSnapshot() *Snapshot {
+	return &Snapshot{
+		fns:   make(map[string]func() float64),
+		hists: make(map[string]*LockedHistogram),
+	}
+}
+
+// Func registers fn as a named instantaneous value, read at every dump.
+// fn must be safe to call from any goroutine (read an atomic, take a
+// lock). Registering a duplicate name panics.
+func (s *Snapshot) Func(name string, fn func() float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.fns[name]; dup {
+		panic("metrics: duplicate snapshot instrument " + name)
+	}
+	if _, dup := s.hists[name]; dup {
+		panic("metrics: duplicate snapshot instrument " + name)
+	}
+	s.order = append(s.order, name)
+	s.fns[name] = fn
+}
+
+// Histogram registers a named locked histogram with the given ascending
+// bucket bounds and returns it for observation.
+func (s *Snapshot) Histogram(name string, bounds ...float64) *LockedHistogram {
+	h := &LockedHistogram{h: NewHistogram(bounds...)}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.fns[name]; dup {
+		panic("metrics: duplicate snapshot instrument " + name)
+	}
+	if _, dup := s.hists[name]; dup {
+		panic("metrics: duplicate snapshot instrument " + name)
+	}
+	s.order = append(s.order, name)
+	s.hists[name] = h
+	return h
+}
+
+// WriteJSON dumps every instrument as one flat JSON object in
+// registration order: plain values for Func instruments, a
+// {count,mean,min,max,p50,p90,p99} object per histogram.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	s.mu.Lock()
+	order := append([]string(nil), s.order...)
+	fns := make(map[string]func() float64, len(s.fns))
+	for k, v := range s.fns {
+		fns[k] = v
+	}
+	hists := make(map[string]*LockedHistogram, len(s.hists))
+	for k, v := range s.hists {
+		hists[k] = v
+	}
+	s.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{")
+	for i, name := range order {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		fmt.Fprintf(bw, "\n%q: ", name)
+		if fn, ok := fns[name]; ok {
+			fmt.Fprintf(bw, "%g", fn())
+			continue
+		}
+		h := hists[name]
+		count, mean, hmin, hmax, p50, p90, p99 := h.Snapshot()
+		fmt.Fprintf(bw, "{\"count\": %d, \"mean\": %g, \"min\": %g, \"max\": %g, \"p50\": %g, \"p90\": %g, \"p99\": %g}",
+			count, mean, hmin, hmax, p50, p90, p99)
+	}
+	bw.WriteString("\n}\n")
+	return bw.Flush()
+}
+
+// LockedHistogram is a Histogram safe for concurrent observation.
+type LockedHistogram struct {
+	mu sync.Mutex
+	h  *Histogram
+}
+
+// Observe adds one sample.
+func (l *LockedHistogram) Observe(v float64) {
+	l.mu.Lock()
+	l.h.Observe(v)
+	l.mu.Unlock()
+}
+
+// N returns the sample count.
+func (l *LockedHistogram) N() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.h.N()
+}
+
+// Snapshot reads every summary statistic under one lock acquisition.
+func (l *LockedHistogram) Snapshot() (count int64, mean, min, max, p50, p90, p99 float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.h.N(), l.h.Mean(), l.h.Min(), l.h.Max(),
+		l.h.Quantile(0.50), l.h.Quantile(0.90), l.h.Quantile(0.99)
+}

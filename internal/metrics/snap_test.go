@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSnapshotWriteJSON(t *testing.T) {
+	s := NewSnapshot()
+	s.Func("queue_depth", func() float64 { return 3 })
+	h := s.Histogram("latency_s", 0.1, 1, 10)
+	for _, v := range []float64{0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := s.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("dump is not valid JSON: %v\n%s", err, b.String())
+	}
+	if doc["queue_depth"] != 3.0 {
+		t.Errorf("queue_depth = %v, want 3", doc["queue_depth"])
+	}
+	lat, ok := doc["latency_s"].(map[string]any)
+	if !ok {
+		t.Fatalf("latency_s is %T, want an object", doc["latency_s"])
+	}
+	if lat["count"] != 3.0 {
+		t.Errorf("latency count = %v, want 3", lat["count"])
+	}
+	// Registration order is export order.
+	if qi, li := strings.Index(b.String(), "queue_depth"), strings.Index(b.String(), "latency_s"); qi > li {
+		t.Error("dump does not preserve registration order")
+	}
+}
+
+func TestSnapshotDuplicatePanics(t *testing.T) {
+	s := NewSnapshot()
+	s.Func("x", func() float64 { return 0 })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	s.Histogram("x")
+}
+
+func TestLockedHistogramConcurrent(t *testing.T) {
+	s := NewSnapshot()
+	h := s.Histogram("h", 1, 10, 100)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64(w*i) / 100)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			var b strings.Builder
+			if err := s.WriteJSON(&b); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if h.N() != 8000 {
+		t.Fatalf("N = %d, want 8000", h.N())
+	}
+}

@@ -1,0 +1,274 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"ioatsim/internal/bench"
+)
+
+// State is a job's lifecycle phase. The legal transitions are
+// queued -> running -> {done, failed, canceled} and queued -> canceled;
+// terminal states never change.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether s is an end state.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// ResultJSON is one completed experiment in wire form. Table is the
+// rendered text table plus notes — byte-identical to the CLI's output
+// for the same configuration, which the golden parity tests pin.
+type ResultJSON struct {
+	ID      string    `json:"id"`
+	Title   string    `json:"title"`
+	XLabel  string    `json:"xlabel"`
+	Columns []string  `json:"columns"`
+	Rows    []RowJSON `json:"rows"`
+	Notes   []string  `json:"notes,omitempty"`
+	Table   string    `json:"table"`
+	WallMS  float64   `json:"wall_ms"`
+}
+
+// RowJSON is one table row: x value, optional label, and the column
+// values in column order.
+type RowJSON struct {
+	X      float64   `json:"x"`
+	Label  string    `json:"label,omitempty"`
+	Values []float64 `json:"values"`
+}
+
+// resultJSON converts a finished experiment.
+func resultJSON(res *bench.Result, wall time.Duration) ResultJSON {
+	s := res.Series
+	out := ResultJSON{
+		ID:      res.ID,
+		Title:   res.Title,
+		XLabel:  s.XLabel,
+		Columns: s.Columns,
+		Notes:   res.Notes,
+		Table:   res.String(),
+		WallMS:  float64(wall.Microseconds()) / 1e3,
+	}
+	for _, p := range s.Points {
+		row := RowJSON{X: p.X, Label: p.Label}
+		for _, c := range s.Columns {
+			row.Values = append(row.Values, p.Values[c])
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// StreamRecord is one NDJSON line of a job's result stream: either one
+// completed experiment (Result set) or the terminal record (Done set,
+// with the final state and error). Seq numbers the records of one job
+// from zero.
+type StreamRecord struct {
+	Job    string      `json:"job"`
+	Seq    int         `json:"seq"`
+	Result *ResultJSON `json:"result,omitempty"`
+	Done   bool        `json:"done,omitempty"`
+	State  State       `json:"state,omitempty"`
+	Error  string      `json:"error,omitempty"`
+}
+
+// Job is one submitted benchmark run moving through the queue and the
+// worker pool. All mutable fields are guarded by mu; the context is
+// created at admission and cancelled by DELETE, client disconnect (for
+// attached submissions) or server shutdown.
+type Job struct {
+	ID  string
+	Req bench.Request
+
+	cfg     bench.Config
+	runners []bench.Runner
+	ctx     context.Context
+	cancel  context.CancelFunc
+
+	mu       sync.Mutex
+	state    State
+	errMsg   string
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	results  []ResultJSON
+	records  []StreamRecord
+	subs     map[chan StreamRecord]struct{}
+	done     chan struct{}
+}
+
+func newJob(id string, req bench.Request, cfg bench.Config, runners []bench.Runner,
+	ctx context.Context, cancel context.CancelFunc, now time.Time) *Job {
+	return &Job{
+		ID:      id,
+		Req:     req,
+		cfg:     cfg,
+		runners: runners,
+		ctx:     ctx,
+		cancel:  cancel,
+		state:   StateQueued,
+		created: now,
+		subs:    make(map[chan StreamRecord]struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// Cancel requests cancellation: a queued job goes terminal immediately,
+// a running job's context is cancelled and the worker finishes it. The
+// returned state is the job's state after the request.
+func (j *Job) Cancel() State {
+	j.cancel()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == StateQueued {
+		j.finishLocked(StateCanceled, context.Canceled.Error())
+	}
+	return j.state
+}
+
+// State returns the current state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// start moves a queued job to running; it reports false if the job was
+// cancelled while queued (the worker must skip it).
+func (j *Job) start(now time.Time) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = now
+	return true
+}
+
+// appendResult records one completed experiment and broadcasts it to
+// the stream subscribers.
+func (j *Job) appendResult(res ResultJSON) {
+	j.mu.Lock()
+	j.results = append(j.results, res)
+	rec := StreamRecord{Job: j.ID, Seq: len(j.records), Result: &j.results[len(j.results)-1]}
+	j.broadcastLocked(rec)
+	j.mu.Unlock()
+}
+
+// finish moves the job to a terminal state, emits the terminal stream
+// record and wakes every waiter. Subsequent calls are no-ops.
+func (j *Job) finish(state State, errMsg string) {
+	j.mu.Lock()
+	j.finishLocked(state, errMsg)
+	j.mu.Unlock()
+}
+
+func (j *Job) finishLocked(state State, errMsg string) {
+	if j.state.Terminal() {
+		return
+	}
+	j.state = state
+	j.errMsg = errMsg
+	j.finished = time.Now()
+	j.broadcastLocked(StreamRecord{Job: j.ID, Seq: len(j.records), Done: true, State: state, Error: errMsg})
+	close(j.done)
+}
+
+// broadcastLocked appends rec to the record log and fans it out.
+// Subscriber channels are sized for the whole stream (experiments +
+// terminal record), so sends never block.
+func (j *Job) broadcastLocked(rec StreamRecord) {
+	j.records = append(j.records, rec)
+	for ch := range j.subs {
+		ch <- rec
+	}
+}
+
+// Subscribe returns the records emitted so far and a channel carrying
+// every subsequent one; cancel must be called to detach. The channel's
+// buffer holds a full stream, so the broadcaster never blocks on a slow
+// reader.
+func (j *Job) Subscribe() (replay []StreamRecord, live <-chan StreamRecord, cancel func()) {
+	ch := make(chan StreamRecord, len(j.runners)+2)
+	j.mu.Lock()
+	replay = append([]StreamRecord(nil), j.records...)
+	if !j.state.Terminal() {
+		j.subs[ch] = struct{}{}
+	} else {
+		close(ch)
+	}
+	j.mu.Unlock()
+	return replay, ch, func() {
+		j.mu.Lock()
+		if _, ok := j.subs[ch]; ok {
+			delete(j.subs, ch)
+		}
+		j.mu.Unlock()
+	}
+}
+
+// Status is a job's wire form: summary fields always, Results only when
+// the caller asks for the detail view.
+type Status struct {
+	ID       string       `json:"id"`
+	State    State        `json:"state"`
+	Error    string       `json:"error,omitempty"`
+	Runners  []string     `json:"runners"`
+	Seed     uint64       `json:"seed"`
+	Scale    float64      `json:"scale"`
+	Created  time.Time    `json:"created"`
+	Started  *time.Time   `json:"started,omitempty"`
+	Finished *time.Time   `json:"finished,omitempty"`
+	WallMS   float64      `json:"wall_ms,omitempty"`
+	Results  []ResultJSON `json:"results,omitempty"`
+}
+
+// Status snapshots the job. withResults includes the per-experiment
+// results (large); the list endpoint leaves them out.
+func (j *Job) Status(withResults bool) Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ids := make([]string, len(j.runners))
+	for i, r := range j.runners {
+		ids[i] = r.ID
+	}
+	st := Status{
+		ID:      j.ID,
+		State:   j.state,
+		Error:   j.errMsg,
+		Runners: ids,
+		Seed:    j.cfg.Seed,
+		Scale:   j.cfg.Scale,
+		Created: j.created,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+		if !j.started.IsZero() {
+			st.WallMS = float64(j.finished.Sub(j.started).Microseconds()) / 1e3
+		}
+	}
+	if withResults {
+		st.Results = append([]ResultJSON(nil), j.results...)
+	}
+	return st
+}

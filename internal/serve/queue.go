@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrQueueFull is returned when admission control rejects a job; the
+// HTTP layer maps it to 429 Too Many Requests with a Retry-After hint.
+var ErrQueueFull = errors.New("serve: job queue full")
+
+// ErrDraining is returned once shutdown has begun; the HTTP layer maps
+// it to 503 Service Unavailable.
+var ErrDraining = errors.New("serve: server is draining")
+
+// queue is the admission-controlled FIFO between the HTTP handlers and
+// the worker pool: a bounded channel plus the closed/draining state that
+// makes enqueue-vs-shutdown race-free. Admission is strictly
+// first-come-first-served; there is no priority tier — fairness under
+// overload is the 429 itself, which pushes retry scheduling to clients.
+type queue struct {
+	mu     sync.Mutex
+	ch     chan *Job
+	closed bool
+}
+
+func newQueue(depth int) *queue {
+	return &queue{ch: make(chan *Job, depth)}
+}
+
+// TryEnqueue admits j or reports why not: ErrDraining after close,
+// ErrQueueFull when the bounded buffer is at capacity. It never blocks.
+func (q *queue) TryEnqueue(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrDraining
+	}
+	select {
+	case q.ch <- j:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// Depth reports how many jobs are waiting for a worker.
+func (q *queue) Depth() int { return len(q.ch) }
+
+// Close stops admission and returns the jobs still queued, in FIFO
+// order, so the caller can cancel them. Workers draining the channel
+// concurrently may win some of these; Close returns only the ones it
+// got. The worker range loop exits once the channel is both closed and
+// empty.
+func (q *queue) Close() []*Job {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return nil
+	}
+	q.closed = true
+	close(q.ch)
+	q.mu.Unlock()
+
+	var leftover []*Job
+	for j := range q.ch {
+		leftover = append(leftover, j)
+	}
+	return leftover
+}
+
+// Chan is the worker-side receive end.
+func (q *queue) Chan() <-chan *Job { return q.ch }
+
+// retryAfter estimates how long an overflowed client should wait before
+// retrying: the queue's expected service time (mean job latency times
+// queued-jobs-per-worker), clamped to [1s, 60s]. With no latency
+// history yet it returns the floor.
+func retryAfter(meanJobSeconds float64, queued, workers int) time.Duration {
+	if workers < 1 {
+		workers = 1
+	}
+	est := time.Duration(meanJobSeconds * float64(queued+1) / float64(workers) * float64(time.Second))
+	if est < time.Second {
+		est = time.Second
+	}
+	if est > time.Minute {
+		est = time.Minute
+	}
+	return est
+}

@@ -17,6 +17,7 @@ package sweep
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/gob"
 	"encoding/hex"
@@ -98,20 +99,54 @@ func writeCanon(w io.Writer, v reflect.Value) {
 // a directory it also persists each result as <dir>/<key>.gob, so later
 // invocations at the same configuration and code version skip the
 // simulation. Safe for concurrent use by parallel sweep workers.
+//
+// The in-process memo is optionally bounded (see Bound): entries are
+// kept on an LRU list and the oldest are dropped once the entry or
+// payload-byte cap is exceeded, so a long-running server can share one
+// cache across an unbounded job stream without growing without limit.
+// Eviction only forgets the in-process copy — a persisted entry is
+// re-promoted from disk on the next lookup.
 type PointCache struct {
 	dir string
 
-	mu     sync.Mutex
-	memo   map[string][]byte
-	hits   uint64
-	misses uint64
+	mu         sync.Mutex
+	memo       map[string]*lruEntry
+	head, tail *lruEntry // LRU list: head = most recent, tail = next victim
+	bytes      int64     // sum of memoized payload lengths
+	maxEntries int       // 0 = unbounded
+	maxBytes   int64     // 0 = unbounded
+	hits       uint64
+	misses     uint64
+	evictions  uint64
 }
 
-// NewPointCache returns a cache memoizing in process; if dir is
-// non-empty, results are also persisted there (the directory is created
-// on first store).
+// lruEntry is one memoized result on the recency list.
+type lruEntry struct {
+	key        string
+	blob       []byte
+	prev, next *lruEntry
+}
+
+// NewPointCache returns an unbounded cache memoizing in process; if dir
+// is non-empty, results are also persisted there (the directory is
+// created on first store).
 func NewPointCache(dir string) *PointCache {
-	return &PointCache{dir: dir, memo: make(map[string][]byte)}
+	return &PointCache{dir: dir, memo: make(map[string]*lruEntry)}
+}
+
+// Bound caps the in-process memo at maxEntries results and maxBytes
+// payload bytes (either 0 = unbounded in that dimension) and returns c.
+// Exceeding a cap evicts least-recently-used entries, except that the
+// most recent entry always stays — a single result larger than maxBytes
+// must not thrash. Safe to call at any point; existing excess entries
+// are evicted immediately.
+func (c *PointCache) Bound(maxEntries int, maxBytes int64) *PointCache {
+	c.mu.Lock()
+	c.maxEntries = maxEntries
+	c.maxBytes = maxBytes
+	c.evict()
+	c.mu.Unlock()
+	return c
 }
 
 // Dir reports the persistence directory ("" for memo-only).
@@ -124,16 +159,102 @@ func (c *PointCache) Stats() (hits, misses uint64) {
 	return c.hits, c.misses
 }
 
+// Evictions reports how many memo entries the LRU bound has dropped.
+func (c *PointCache) Evictions() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
+}
+
+// Len reports the number of in-process memo entries.
+func (c *PointCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.memo)
+}
+
+// Bytes reports the payload bytes held by the in-process memo.
+func (c *PointCache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// unlink removes e from the recency list.
+func (c *PointCache) unlink(e *lruEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// pushFront makes e the most recent entry.
+func (c *PointCache) pushFront(e *lruEntry) {
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// over reports whether the memo exceeds a configured cap.
+func (c *PointCache) over() bool {
+	return (c.maxEntries > 0 && len(c.memo) > c.maxEntries) ||
+		(c.maxBytes > 0 && c.bytes > c.maxBytes)
+}
+
+// evict drops least-recently-used entries until the memo fits its caps,
+// always sparing the most recent entry. Callers hold c.mu.
+func (c *PointCache) evict() {
+	for c.over() && c.tail != nil && c.tail != c.head {
+		victim := c.tail
+		c.unlink(victim)
+		delete(c.memo, victim.key)
+		c.bytes -= int64(len(victim.blob))
+		c.evictions++
+	}
+}
+
+// insert records key -> blob in the memo (replacing any existing entry),
+// promotes it to most recent, and enforces the caps. Callers hold c.mu.
+func (c *PointCache) insert(key string, blob []byte) {
+	if e, ok := c.memo[key]; ok {
+		c.bytes += int64(len(blob)) - int64(len(e.blob))
+		e.blob = blob
+		c.unlink(e)
+		c.pushFront(e)
+	} else {
+		e := &lruEntry{key: key, blob: blob}
+		c.memo[key] = e
+		c.bytes += int64(len(blob))
+		c.pushFront(e)
+	}
+	c.evict()
+}
+
 // lookup returns the stored encoding for key, consulting the memo map
 // first and the persistence directory second (promoting disk hits into
 // the memo).
 func (c *PointCache) lookup(key string) ([]byte, bool) {
 	c.mu.Lock()
-	blob, ok := c.memo[key]
-	c.mu.Unlock()
-	if ok {
+	if e, ok := c.memo[key]; ok {
+		blob := e.blob
+		c.unlink(e)
+		c.pushFront(e)
+		c.mu.Unlock()
 		return blob, true
 	}
+	c.mu.Unlock()
 	if c.dir == "" {
 		return nil, false
 	}
@@ -142,7 +263,7 @@ func (c *PointCache) lookup(key string) ([]byte, bool) {
 		return nil, false
 	}
 	c.mu.Lock()
-	c.memo[key] = blob
+	c.insert(key, blob)
 	c.mu.Unlock()
 	return blob, true
 }
@@ -154,7 +275,7 @@ func (c *PointCache) lookup(key string) ([]byte, bool) {
 // is an accelerator, never a correctness dependency.
 func (c *PointCache) store(key string, blob []byte) {
 	c.mu.Lock()
-	c.memo[key] = blob
+	c.insert(key, blob)
 	c.mu.Unlock()
 	if c.dir == "" {
 		return
@@ -195,10 +316,18 @@ func (c *PointCache) count(hit bool) {
 // gob-encoded result (T must therefore have exported fields). A nil
 // cache degrades to plain Run.
 func CachedRun[T any](c *PointCache, parallel, n int, key func(i int) string, fn func(i int) T) []T {
+	out, _ := CachedRunCtx(context.Background(), c, parallel, n, key, fn)
+	return out
+}
+
+// CachedRunCtx is CachedRun under a context, with RunCtx's cancellation
+// contract: no new point (cached or not) starts once ctx is cancelled,
+// and the call returns ctx.Err() alongside the partial results.
+func CachedRunCtx[T any](ctx context.Context, c *PointCache, parallel, n int, key func(i int) string, fn func(i int) T) ([]T, error) {
 	if c == nil {
-		return Run(parallel, n, fn)
+		return RunCtx(ctx, parallel, n, fn)
 	}
-	return Run(parallel, n, func(i int) T {
+	return RunCtx(ctx, parallel, n, func(i int) T {
 		k := key(i)
 		if blob, ok := c.lookup(k); ok {
 			var out T

@@ -1,0 +1,109 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCtxCompletesWithoutCancellation(t *testing.T) {
+	out, err := RunCtx(context.Background(), 4, 10, func(i int) int { return i * i })
+	if err != nil {
+		t.Fatalf("RunCtx: %v", err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestRunCtxSequentialCancelStopsEarly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls int32
+	out, err := RunCtx(ctx, 1, 100, func(i int) int {
+		if atomic.AddInt32(&calls, 1) == 3 {
+			cancel()
+		}
+		return i + 1
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 3 {
+		t.Fatalf("fn ran %d times after cancellation at the 3rd point", calls)
+	}
+	if len(out) != 100 || out[2] != 3 || out[3] != 0 {
+		t.Fatalf("partial results wrong: len=%d out[2]=%d out[3]=%d", len(out), out[2], out[3])
+	}
+}
+
+func TestRunCtxParallelCancelDrainsWorkers(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 1000)
+	release := make(chan struct{})
+	var calls int32
+	done := make(chan struct{})
+	var out []int
+	var err error
+	go func() {
+		defer close(done)
+		out, err = RunCtx(ctx, 4, 1000, func(i int) int {
+			atomic.AddInt32(&calls, 1)
+			started <- struct{}{}
+			<-release
+			return i + 1
+		})
+	}()
+	// Let the first batch of workers start, cancel, then release them:
+	// the sweep must finish the in-flight points and return promptly
+	// without running the rest.
+	for i := 0; i < 4; i++ {
+		<-started
+	}
+	cancel()
+	close(release)
+	<-done
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The 4 in-flight points completed; at most a few more could have
+	// been handed an index before the sender observed the cancellation.
+	if n := atomic.LoadInt32(&calls); n >= 1000 || n < 4 {
+		t.Fatalf("fn ran %d times; cancellation did not stop the sweep", n)
+	}
+	if len(out) != 1000 {
+		t.Fatalf("len(out) = %d, want 1000", len(out))
+	}
+}
+
+func TestRunCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls int32
+	_, err := RunCtx(ctx, 1, 10, func(i int) int {
+		atomic.AddInt32(&calls, 1)
+		return i
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 0 {
+		t.Fatalf("fn ran %d times under a pre-cancelled context", calls)
+	}
+}
+
+func TestCachedRunCtxCancelSkipsLookups(t *testing.T) {
+	c := NewPointCache("")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := CachedRunCtx(ctx, c, 1, 5, func(i int) string { return Key("k", i) },
+		func(i int) int { return i })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if hits, misses := c.Stats(); hits+misses != 0 {
+		t.Fatalf("cache consulted (%d hits, %d misses) under a pre-cancelled context", hits, misses)
+	}
+}

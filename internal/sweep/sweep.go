@@ -7,12 +7,17 @@
 // order, not completion order, so the rendered tables stay byte-identical
 // to a sequential run.
 //
-// Run is the only primitive: a bounded worker pool over the index space
-// [0, n) whose result slice is keyed by index. Workers(p) resolves the
-// user-facing parallelism knob (0 = one worker per GOMAXPROCS core).
+// RunCtx is the only primitive: a bounded worker pool over the index
+// space [0, n) whose result slice is keyed by index, aborted between
+// points when its context is cancelled (a point that has already started
+// runs to completion — simulations have no internal preemption — so a
+// cancelled sweep never leaks a worker goroutine). Run is RunCtx without
+// cancellation; Workers(p) resolves the user-facing parallelism knob
+// (0 = one worker per GOMAXPROCS core).
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -37,16 +42,29 @@ func Workers(parallel int) int {
 // A panic in any point is re-raised on the calling goroutine once all
 // workers have drained.
 func Run[T any](parallel, n int, fn func(i int) T) []T {
+	out, _ := RunCtx(context.Background(), parallel, n, fn)
+	return out
+}
+
+// RunCtx is Run under a context: once ctx is cancelled no further point
+// starts, the points already in flight run to completion (so no worker
+// goroutine or half-built simulation leaks), and the call returns
+// ctx.Err() with the partial result slice (unstarted points hold zero
+// values). A nil error means every point ran.
+func RunCtx[T any](ctx context.Context, parallel, n int, fn func(i int) T) ([]T, error) {
 	if n <= 0 {
-		return nil
+		return nil, ctx.Err()
 	}
 	out := make([]T, n)
 	workers := min(Workers(parallel), n)
 	if workers == 1 {
 		for i := range out {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
 			out[i] = fn(i)
 		}
-		return out
+		return out, ctx.Err()
 	}
 
 	var (
@@ -75,13 +93,18 @@ func Run[T any](parallel, n int, fn func(i int) T) []T {
 			}
 		}()
 	}
+feed:
 	for i := 0; i < n; i++ {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
 	if panicked != nil {
 		panic(fmt.Sprintf("sweep: point panicked: %v", panicked))
 	}
-	return out
+	return out, ctx.Err()
 }

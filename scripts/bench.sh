@@ -26,6 +26,10 @@ PR="$(basename "$OUT" | sed -n 's/^BENCH_PR\([0-9][0-9]*\)\.json$/\1/p')"
 PR="${PR:-0}"
 BASELINE_WALL_S="${BASELINE_WALL_S:-15.84}"
 BASELINE_COMMIT="${BASELINE_COMMIT:-67df8da}"
+# Provenance: the commit the numbers were measured at and when, so a
+# report found on disk months later is still attributable.
+COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+TIMESTAMP_UTC="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 TMP="$(mktemp -d)"
 BIN="$TMP/ioatbench"
 CACHE="$TMP/pointcache"
@@ -87,6 +91,8 @@ cat >"$OUT" <<EOF
 {
   "pr": $PR,
   "bench": "ioatbench full suite, sequential",
+  "commit": "$COMMIT",
+  "timestamp_utc": "$TIMESTAMP_UTC",
   "scale": $SCALE,
   "baseline_commit": "$BASELINE_COMMIT",
   "baseline_wall_s": $BASELINE_WALL_S,
