@@ -1,14 +1,29 @@
 GO ?= go
 
-.PHONY: all build vet test race golden fuzz-smoke bench-smoke trace-smoke fault-smoke serve-smoke bench bench-compare sim-bench profile clean
+.PHONY: all build vet lint allocbudget test race golden fuzz-smoke bench-smoke trace-smoke fault-smoke serve-smoke bench bench-compare sim-bench profile clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Static contract checks: determinism (no wall clock, no map-order or
+# goroutine nondeterminism in simulation packages), hot-path allocation
+# discipline, nil-guarded probe access, and cache-key completeness.
+# See DESIGN.md §4i; suppress single findings with
+# `//ioatlint:allow <analyzer> — <reason>`.
+lint:
+	$(GO) run ./cmd/ioatlint ./...
+
+# Heap-escape budget: compiler escape analysis over the hot-path
+# packages diffed against testdata/lint/escape_allowlist.txt. A new
+# escape fails; regenerate the allowlist with
+# `scripts/allocbudget.sh -update` after justifying the allocation.
+allocbudget:
+	./scripts/allocbudget.sh
 
 test:
 	$(GO) test ./...

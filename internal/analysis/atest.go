@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// RunFixture type-checks the fixture directory as the package with the
+// given import path, runs the analyzer (with suppression filtering),
+// and compares the surviving findings against `// want "regexp"`
+// expectations in the fixture source — the analysistest convention:
+//
+//	_ = time.Now() // want `time\.Now reads the host clock`
+//
+// Each expectation must be matched by a finding on its line, and each
+// finding must be matched by an expectation. Multiple back-quoted or
+// quoted patterns may follow one want comment.
+//
+// Fixture loads share one process-wide loader so the (expensive) first
+// source-import of the standard library is paid once per test binary.
+func RunFixture(t *testing.T, a *Analyzer, dir, pkgpath string) {
+	t.Helper()
+	pkg, err := fixtureLoader.Dir(dir, pkgpath)
+	if err != nil {
+		t.Fatalf("loading fixture %s as %s: %v", dir, pkgpath, err)
+	}
+	pkgs := []*Package{pkg}
+	findings, err := Lint(pkgs, NewIndex(pkgs), []*Analyzer{a}, false)
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	checkExpectations(t, pkg, findings)
+}
+
+// fixtureLoader is shared across fixture runs (see RunFixture).
+var fixtureLoader = NewLoader()
+
+// wantRe matches one expectation pattern after a `// want` marker:
+// back-quoted or double-quoted.
+var wantRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// expectation is one `// want` pattern at a file:line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// checkExpectations diffs findings against the fixture's want comments.
+func checkExpectations(t *testing.T, pkg *Package, findings []Finding) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text[idx+len("// want "):], -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	for _, f := range findings {
+		if exp := matchWant(wants, f); exp != nil {
+			exp.matched = true
+		} else {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, exp := range wants {
+		if !exp.matched {
+			t.Errorf("%s:%d: no finding matched want %q", exp.file, exp.line, exp.pattern)
+		}
+	}
+}
+
+// matchWant finds an unmatched expectation on the finding's line whose
+// pattern matches its message.
+func matchWant(wants []*expectation, f Finding) *expectation {
+	for _, exp := range wants {
+		if !exp.matched && exp.file == f.Pos.Filename && exp.line == f.Pos.Line &&
+			exp.pattern.MatchString(f.Message) {
+			return exp
+		}
+	}
+	return nil
+}
+
+// FormatFindings renders findings one per line for test failure output.
+func FormatFindings(findings []Finding) string {
+	var b strings.Builder
+	for _, f := range findings {
+		fmt.Fprintln(&b, f)
+	}
+	return b.String()
+}

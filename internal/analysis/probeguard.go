@@ -1,0 +1,410 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ProbeGuard keeps the "disabled = one nil compare" guarantee
+// structural: every selector through a nullable observability or fault
+// hook pointer (*trace.Obs, the per-entity *fault.{Injector,LinkFault,
+// NICFault,NodeFault} hooks) and every call through the sim.Probe /
+// sim.ProcProbe interfaces must be dominated by a nil check of that
+// same expression. An unguarded use either crashes a probe-free run or
+// silently forces callers to install probes, destroying the zero-cost
+// disabled path the benchmarks rely on.
+var ProbeGuard = &Analyzer{
+	Name: "probeguard",
+	Doc: "require selectors on nullable observability/fault pointers to be " +
+		"dominated by a nil check (disabled hooks stay one nil compare)",
+	Run: runProbeGuard,
+}
+
+// probeGuardPtr lists the pointer-pointee types whose selectors need a
+// dominating nil check, as "pkgpath.TypeName".
+var probeGuardPtr = map[string]bool{
+	ModulePath + "/internal/trace.Obs":       true,
+	ModulePath + "/internal/fault.Injector":  true,
+	ModulePath + "/internal/fault.LinkFault": true,
+	ModulePath + "/internal/fault.NICFault":  true,
+	ModulePath + "/internal/fault.NodeFault": true,
+}
+
+// probeGuardIface lists the interface types whose method calls need a
+// dominating nil check on the interface value.
+var probeGuardIface = map[string]bool{
+	ModulePath + "/internal/sim.Probe":     true,
+	ModulePath + "/internal/sim.ProcProbe": true,
+}
+
+// guardedTypeName returns the qualified name of the guarded type t
+// refers to, or "" if t is not guarded.
+func guardedTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		if named, ok := ptr.Elem().(*types.Named); ok && named.Obj().Pkg() != nil {
+			name := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+			if probeGuardPtr[name] {
+				return name
+			}
+		}
+		return ""
+	}
+	if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil && types.IsInterface(t) {
+		name := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+		if probeGuardIface[name] {
+			return name
+		}
+	}
+	return ""
+}
+
+func runProbeGuard(pass *Pass) error {
+	if !InDeterminismSet(pass.Pkg.Path) {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &guardWalker{pass: pass}
+			// Methods on a guarded type may use their own receiver
+			// freely: the caller held the non-nil pointer to invoke
+			// them (value-receiver methods got a non-nil copy source).
+			if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+				if obj, ok := pass.Pkg.Info.Defs[fd.Recv.List[0].Names[0]].(*types.Var); ok {
+					if guardedTypeName(obj.Type()) != "" {
+						w.recv = obj
+					}
+				}
+			}
+			w.stmts(fd.Body.List, map[string]bool{})
+		}
+	}
+	return nil
+}
+
+// guardWalker tracks, per structured-control-flow region, the set of
+// canonical expression strings known to be non-nil.
+type guardWalker struct {
+	pass *Pass
+	recv *types.Var // exempt receiver of a guarded-type method, or nil
+}
+
+// stmts visits a statement list; facts established by terminating nil
+// guards (`if x == nil { return }`) flow to the following statements.
+func (w *guardWalker) stmts(list []ast.Stmt, guarded map[string]bool) {
+	g := copyGuards(guarded)
+	for _, s := range list {
+		w.stmt(s, g)
+	}
+}
+
+// stmt visits one statement, mutating g with facts that hold for the
+// remainder of the enclosing list.
+func (w *guardWalker) stmt(s ast.Stmt, g map[string]bool) {
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		inner := g
+		if s.Init != nil {
+			inner = copyGuards(g)
+			w.stmt(s.Init, inner)
+		}
+		w.expr(s.Cond, inner)
+		thenG := copyGuards(inner)
+		addFacts(thenG, factsWhenTrue(s.Cond))
+		w.stmts(s.Body.List, thenG)
+		elseFacts := factsWhenFalse(s.Cond)
+		if s.Else != nil {
+			elseG := copyGuards(inner)
+			addFacts(elseG, elseFacts)
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				w.stmts(e.List, elseG)
+			default:
+				w.stmt(e, elseG)
+			}
+		}
+		// `if x == nil { return }` guards everything after the if;
+		// `if x != nil { ... } else { return }` likewise.
+		if terminates(s.Body) {
+			addFacts(g, elseFacts)
+		}
+		if s.Else != nil && terminates(s.Else) {
+			addFacts(g, factsWhenTrue(s.Cond))
+		}
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			w.expr(r, g)
+		}
+		for _, l := range s.Lhs {
+			w.expr(l, g)
+			// Reassignment invalidates any fact about the target.
+			delete(g, types.ExprString(l))
+		}
+	case *ast.BlockStmt:
+		w.stmts(s.List, g)
+	case *ast.ForStmt:
+		inner := copyGuards(g)
+		if s.Init != nil {
+			w.stmt(s.Init, inner)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, inner)
+			addFacts(inner, factsWhenTrue(s.Cond))
+		}
+		if s.Post != nil {
+			w.stmt(s.Post, inner)
+		}
+		w.stmts(s.Body.List, inner)
+	case *ast.RangeStmt:
+		w.expr(s.X, g)
+		w.stmts(s.Body.List, copyGuards(g))
+	case *ast.SwitchStmt:
+		inner := copyGuards(g)
+		if s.Init != nil {
+			w.stmt(s.Init, inner)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, inner)
+		}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, e := range cc.List {
+				w.expr(e, inner)
+			}
+			w.stmts(cc.Body, copyGuards(inner))
+		}
+	case *ast.TypeSwitchStmt:
+		inner := copyGuards(g)
+		if s.Init != nil {
+			w.stmt(s.Init, inner)
+		}
+		w.stmt(s.Assign, inner)
+		for _, c := range s.Body.List {
+			w.stmts(c.(*ast.CaseClause).Body, copyGuards(inner))
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			inner := copyGuards(g)
+			if cc.Comm != nil {
+				w.stmt(cc.Comm, inner)
+			}
+			w.stmts(cc.Body, inner)
+		}
+	case *ast.ExprStmt:
+		w.expr(s.X, g)
+	case *ast.SendStmt:
+		w.expr(s.Chan, g)
+		w.expr(s.Value, g)
+	case *ast.IncDecStmt:
+		w.expr(s.X, g)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, g)
+		}
+	case *ast.DeferStmt:
+		w.expr(s.Call, copyGuards(g))
+	case *ast.GoStmt:
+		w.expr(s.Call, copyGuards(g))
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, g)
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, g)
+	}
+}
+
+// expr visits one expression, honoring && / || short-circuit guards and
+// reporting unguarded selectors on guarded-type expressions.
+func (w *guardWalker) expr(e ast.Expr, g map[string]bool) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.ParenExpr:
+		w.expr(e.X, g)
+	case *ast.BinaryExpr:
+		w.expr(e.X, g)
+		yg := g
+		switch e.Op {
+		case token.LAND:
+			yg = copyGuards(g)
+			addFacts(yg, factsWhenTrue(e.X))
+		case token.LOR:
+			yg = copyGuards(g)
+			addFacts(yg, factsWhenFalse(e.X))
+		}
+		w.expr(e.Y, yg)
+	case *ast.UnaryExpr:
+		w.expr(e.X, g)
+	case *ast.StarExpr:
+		w.expr(e.X, g)
+	case *ast.CallExpr:
+		w.expr(e.Fun, g)
+		for _, a := range e.Args {
+			w.expr(a, g)
+		}
+	case *ast.IndexExpr:
+		w.expr(e.X, g)
+		w.expr(e.Index, g)
+	case *ast.IndexListExpr:
+		w.expr(e.X, g)
+		for _, i := range e.Indices {
+			w.expr(i, g)
+		}
+	case *ast.SliceExpr:
+		w.expr(e.X, g)
+		w.expr(e.Low, g)
+		w.expr(e.High, g)
+		w.expr(e.Max, g)
+	case *ast.TypeAssertExpr:
+		w.expr(e.X, g)
+	case *ast.KeyValueExpr:
+		w.expr(e.Value, g)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			w.expr(el, g)
+		}
+	case *ast.FuncLit:
+		// A closure may run long after the guard was checked; require
+		// its own checks inside.
+		w.stmts(e.Body.List, map[string]bool{})
+	case *ast.SelectorExpr:
+		w.checkSelector(e, g)
+		w.expr(e.X, g)
+	}
+}
+
+// checkSelector reports e when it selects through a guarded-type
+// expression that is not known non-nil here.
+func (w *guardWalker) checkSelector(e *ast.SelectorExpr, g map[string]bool) {
+	info := w.pass.Pkg.Info
+	if info.Selections[e] == nil {
+		return // qualified identifier (pkg.Name), not a selection
+	}
+	t := info.TypeOf(e.X)
+	name := guardedTypeName(t)
+	if name == "" {
+		return
+	}
+	// The defining package is the implementation, not a hook site: its
+	// constructors build the values (`lf := &LinkFault{...}`) and its
+	// aggregators walk injector-owned slices that only ever hold
+	// constructor results. The nil-guard contract binds consumers.
+	if strings.HasPrefix(name, w.pass.Pkg.Path+".") {
+		return
+	}
+	if id, ok := ast.Unparen(e.X).(*ast.Ident); ok && w.recv != nil && info.Uses[id] == w.recv {
+		return
+	}
+	key := types.ExprString(e.X)
+	if g[key] {
+		return
+	}
+	w.pass.Reportf(e.Pos(),
+		"selector on possibly-nil %s (%s) must be dominated by a nil check "+
+			"(`if %s != nil { ... }`): a disabled hook is exactly one nil compare",
+		name, key, key)
+}
+
+// factsWhenTrue returns the canonical expressions known non-nil when
+// cond evaluates true.
+func factsWhenTrue(cond ast.Expr) []string {
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.LAND:
+			return append(factsWhenTrue(c.X), factsWhenTrue(c.Y)...)
+		case token.NEQ:
+			if isNilIdent(c.Y) {
+				return []string{types.ExprString(c.X)}
+			}
+			if isNilIdent(c.X) {
+				return []string{types.ExprString(c.Y)}
+			}
+		}
+	case *ast.UnaryExpr:
+		if c.Op == token.NOT {
+			return factsWhenFalse(c.X)
+		}
+	}
+	return nil
+}
+
+// factsWhenFalse returns the canonical expressions known non-nil when
+// cond evaluates false.
+func factsWhenFalse(cond ast.Expr) []string {
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.LOR:
+			return append(factsWhenFalse(c.X), factsWhenFalse(c.Y)...)
+		case token.EQL:
+			if isNilIdent(c.Y) {
+				return []string{types.ExprString(c.X)}
+			}
+			if isNilIdent(c.X) {
+				return []string{types.ExprString(c.Y)}
+			}
+		}
+	case *ast.UnaryExpr:
+		if c.Op == token.NOT {
+			return factsWhenTrue(c.X)
+		}
+	}
+	return nil
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// terminates reports whether control cannot flow past s: a return, a
+// panic, a branch, or a block/if ending in one.
+func terminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return len(s.List) > 0 && terminates(s.List[len(s.List)-1])
+	case *ast.IfStmt:
+		return s.Else != nil && terminates(s.Body) && terminates(s.Else)
+	case *ast.LabeledStmt:
+		return terminates(s.Stmt)
+	}
+	return false
+}
+
+func copyGuards(g map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(g))
+	for k, v := range g {
+		out[k] = v
+	}
+	return out
+}
+
+func addFacts(g map[string]bool, facts []string) {
+	for _, f := range facts {
+		g[f] = true
+	}
+}

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallClockFuncs are the time-package functions that read or wait on the
+// host's wall clock. Simulated time is the only clock a simulation
+// package may consult; one stray time.Now in a figure runner poisons
+// byte-identical seeded results without failing any unit test.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// SimDeterminism rejects the four constructs that have historically
+// broken seeded reproducibility in simulation packages: wall-clock
+// reads, global math/rand, map-iteration order feeding results, and raw
+// goroutines outside the internal/sweep worker pool.
+var SimDeterminism = &Analyzer{
+	Name: "simdeterminism",
+	Doc: "forbid wall-clock time, math/rand, map ranges and raw goroutines " +
+		"in simulation packages (golden-corpus determinism, made structural)",
+	Run: runSimDeterminism,
+}
+
+func runSimDeterminism(pass *Pass) error {
+	if !InDeterminismSet(pass.Pkg.Path) {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ImportSpec:
+				path := importPath(n)
+				if path == "math/rand" || path == "math/rand/v2" {
+					pass.Reportf(n.Pos(),
+						"import of %s in a simulation package: use the seeded %s/internal/rng instead "+
+							"(global rand state is shared across the process and breaks seeded reproducibility)",
+						path, ModulePath)
+				}
+			case *ast.CallExpr:
+				if fn := staticCallee(info, n); fn != nil && fn.Pkg() != nil &&
+					fn.Pkg().Path() == "time" && isPackageFunc(fn) && wallClockFuncs[fn.Name()] {
+					pass.Reportf(n.Pos(),
+						"time.%s reads the host clock: simulation code must use sim.Time "+
+							"(wall-clock values feeding results break byte-identical seeded runs)", fn.Name())
+				}
+			case *ast.RangeStmt:
+				if t := info.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						pass.Reportf(n.Pos(),
+							"range over a map iterates in nondeterministic order: "+
+								"iterate a sorted key slice, or suppress with an allow comment "+
+								"if provably order-insensitive")
+					}
+				}
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(),
+					"raw go statement in a simulation package: concurrency belongs to the "+
+						"%s/internal/sweep worker pool (goroutine interleaving is nondeterministic)",
+					ModulePath)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// importPath returns the unquoted import path of a spec.
+func importPath(spec *ast.ImportSpec) string {
+	s := spec.Path.Value
+	if len(s) >= 2 {
+		return s[1 : len(s)-1]
+	}
+	return s
+}
+
+// staticCallee resolves the *types.Func a call statically invokes, or
+// nil for builtins, func values and dynamic (interface) calls.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// isPackageFunc reports whether fn is a package-level function (not a
+// method): methods on stdlib value types (time.Duration.Seconds) are
+// pure accessors and never subject to package-level denylists.
+func isPackageFunc(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}

@@ -1,0 +1,18 @@
+// Package escape is a deliberate heap-escape fixture for the
+// allocbudget.sh regression test: Leak forces its local to the heap, so
+// running the script over this package against an empty allowlist must
+// fail and name this file. It lives under testdata so ./... never
+// builds it; the test names the import path explicitly.
+package escape
+
+// sink keeps the escaping pointer reachable so the compiler cannot
+// stack-allocate it.
+var sink *int
+
+// Leak allocates: n is moved to the heap because its address outlives
+// the call.
+func Leak(n int) *int {
+	x := n
+	sink = &x
+	return sink
+}

@@ -1,0 +1,29 @@
+// Package bench is the cachekey fixture for the Config contract. The
+// test loads it as ioatsim/internal/bench so the path gate fires; the
+// exclusion set is the real one (Parallel, Check, Strict, Obs, Cache,
+// Ctx), so this Config declares every excluded name.
+package bench
+
+type Config struct {
+	Seed     int64
+	Scale    float64
+	Parallel int
+	Check    bool // want `Config.Check is consumed by Config.key AND listed in the exclusion set`
+	Strict   bool
+	Obs      int
+	Cache    *int
+	Ctx      any
+	Extra    string // want `Config.Extra is not consumed by Config.key and not in the exclusion set`
+	//ioatlint:allow cachekey — fixture: deliberate exception, exercised by the suppression test
+	Legacy int
+
+	hidden int // unexported: not part of the contract
+}
+
+func (c Config) key(kind string) string {
+	_ = c.Seed
+	_ = c.Scale
+	_ = c.Check
+	_ = c.hidden
+	return kind
+}

@@ -1,0 +1,23 @@
+// Package cost is the cachekey fixture for the Params encodability
+// contract: figures pass *Params wholesale into sweep.Key, so every
+// exported field must survive the canonical reflection encoder.
+package cost
+
+import "time"
+
+type Params struct {
+	MTU      int
+	Window   time.Duration
+	Names    []string
+	Nested   inner          // want `Params.Nested contains a map`
+	Weights  map[string]int // want `Params.Weights contains a map`
+	Hook     func()         // want `Params.Hook contains a func value`
+	Signal   chan int       // want `Params.Signal contains a channel`
+	Opaque   any            // want `Params.Opaque contains an interface`
+	internal map[int]int    // unexported: the reflection walk skips it
+}
+
+// inner shows that the walk descends into exported struct fields.
+type inner struct {
+	Deep map[string]bool
+}

@@ -1,0 +1,7 @@
+// Package bench is the cachekey fixture for the missing-key-method
+// diagnostic: a Config with no key cannot form cache identities at all.
+package bench
+
+type Config struct { // want `bench.Config has no key method`
+	Seed int64
+}

@@ -1,0 +1,139 @@
+// Package hotfixture is the hotpathalloc fixture: annotated functions
+// exercising each rejected construct, the accepted patterns, and the
+// suppression form.
+package hotfixture
+
+import (
+	"fmt"
+
+	"ioatsim/internal/check"
+	"ioatsim/internal/sim"
+)
+
+type item struct {
+	n    int
+	next *item
+}
+
+type pool struct {
+	free  []*item
+	obs   *sink
+	names map[string]int
+}
+
+// sink stands in for an observability hook; it is not one of the
+// recognized hook types, so guarding on it does not exempt a block.
+type sink struct{ calls int }
+
+func (s *sink) hit() { s.calls++ }
+
+//ioat:hotpath
+func (p *pool) badConstructs(n int, name string) {
+	x := &item{n: n} // want `&composite literal escapes to the heap`
+	_ = x
+	m := map[string]int{"a": 1} // want `map literal allocates`
+	_ = m
+	s := []int{1, 2, 3} // want `slice literal allocates a backing array`
+	_ = s
+	y := new(item) // want `new\(T\) allocates`
+	_ = y
+	b := make([]byte, n) // want `make allocates`
+	_ = b
+	lbl := "item:" + name // want `string concatenation allocates`
+	_ = lbl
+	go p.badConstructs(n, name) // want `go statement in a hot path spawns a goroutine`
+}
+
+//ioat:hotpath
+func badClosure(n int) func() int {
+	return func() int { return n } // want `closure captures "n" and allocates per call`
+}
+
+//ioat:hotpath
+func (p *pool) badMethodValue() func() {
+	return p.refill // want `method value allocates a bound closure`
+}
+
+//ioat:hotpath
+func (p *pool) badBoxing(n int) {
+	var a any
+	a = n // want `boxing a int into`
+	_ = a
+}
+
+// helper is unannotated and allocates; annotated callers are told so.
+func (p *pool) helper() *item {
+	return &item{}
+}
+
+//ioat:hotpath
+func (p *pool) badCallee() *item {
+	return p.helper() // want `which is not //ioat:hotpath and allocates`
+}
+
+//ioat:hotpath
+func badUnloaded() uint64 {
+	return sim.GlobalExecuted() // want `whose package is not loaded in this run`
+}
+
+//ioat:hotpath
+func badStdlib(n int) {
+	fmt.Println(n) // want `fmt.Println allocates` `boxing a int into`
+}
+
+// refill is the accepted pool pattern: append and value literals are
+// allowed (amortized arena growth), and the refill allocation carries a
+// suppression with its justification.
+//
+//ioat:hotpath
+func (p *pool) refill() {
+	if len(p.free) == 0 {
+		//ioatlint:allow hotpathalloc — fixture pool refill: amortized to zero by recycling
+		p.free = append(p.free, &item{})
+	}
+}
+
+// goodPatterns collects the accepted shapes: panic guards, hook-guarded
+// instrumentation, pointer and constant boxing, capture-free literals,
+// value composites, calls to clean same-package helpers.
+//
+//ioat:hotpath
+func (p *pool) goodPatterns(n int, x *item) {
+	if n < 0 {
+		panic(fmt.Sprintf("hotfixture: negative count %d", n))
+	}
+	if o := obsOf(p); o != nil {
+		lbl := "hot:" + itoa(n) // instrumented-only: exempt
+		_ = lbl
+	}
+	var a any
+	a = x   // pointer-shaped: no boxing allocation
+	a = 42  // constant: static backing
+	a = nil // untyped nil
+	_ = a
+	v := item{n: n} // value composite stays on the stack
+	_ = v
+	p.free = append(p.free, x) // append is the arena idiom
+	f := func() {}             // capture-free literal is a static func value
+	f()
+	_ = clean(n)
+}
+
+// obsOf returns a recognized hook type so the guard above is exempt.
+func obsOf(p *pool) *check.Checker { return nil }
+
+func clean(n int) int { return n * 2 }
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

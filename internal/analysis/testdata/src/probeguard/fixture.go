@@ -1,0 +1,65 @@
+// Package host is the probeguard fixture. The test loads it under a
+// real determinism-set import path (outside the guarded types' defining
+// packages) so the dominance analysis fires on the real hook types.
+package host
+
+import (
+	"ioatsim/internal/fault"
+	"ioatsim/internal/trace"
+)
+
+type node struct {
+	obs *trace.Obs
+	nf  *fault.NICFault
+}
+
+func unguarded(n *node) int64 {
+	_ = n.obs.Pid            // want `selector on possibly-nil ioatsim/internal/trace.Obs`
+	return n.nf.DroppedBytes // want `selector on possibly-nil ioatsim/internal/fault.NICFault`
+}
+
+func guarded(n *node) int64 {
+	if n.obs != nil {
+		_ = n.obs.Pid
+	}
+	if n.nf == nil {
+		return 0
+	}
+	return n.nf.DroppedBytes
+}
+
+func guardedConjunction(n *node, hot bool) {
+	if n.obs != nil && hot {
+		_ = n.obs.Pid
+	}
+}
+
+// reassigned shows that facts are per-expression: copying the guarded
+// pointer into a fresh variable requires that variable's own check.
+func reassigned(n *node, other *trace.Obs) int32 {
+	if n.obs == nil {
+		return 0
+	}
+	_ = n.obs.Pid
+	o := n.obs
+	_ = o.Pid // want `selector on possibly-nil ioatsim/internal/trace.Obs`
+	return 0
+}
+
+// closureNeedsOwnCheck: a guard outside a closure does not dominate the
+// closure body, which may run long after the hook was torn down.
+func closureNeedsOwnCheck(n *node) func() {
+	if n.obs == nil {
+		return nil
+	}
+	return func() {
+		_ = n.obs.Pid // want `selector on possibly-nil ioatsim/internal/trace.Obs`
+	}
+}
+
+// allowed is the suppression form: the reason records the installation
+// invariant that makes the unguarded use sound.
+func allowed(n *node) int64 {
+	//ioatlint:allow probeguard — fixture: hook installed unconditionally at construction in this scenario
+	return n.nf.DroppedBytes
+}

@@ -1,0 +1,51 @@
+// Package sim is the simdeterminism fixture. The test loads it under
+// the engine's real import path so the path-gated analyzer fires; the
+// expectations are analysistest-style `// want` comments.
+package sim
+
+import (
+	"math/rand" // want `import of math/rand in a simulation package`
+	"time"
+)
+
+// counts is ranged over both illegally and with a suppression below.
+var counts = map[string]int{"a": 1, "b": 2}
+
+func wallClock() time.Duration {
+	t0 := time.Now()             // want `time.Now reads the host clock`
+	time.Sleep(time.Millisecond) // want `time.Sleep reads the host clock`
+	return time.Since(t0)        // want `time.Since reads the host clock`
+}
+
+func draw() int { return rand.Intn(6) }
+
+func sum() int {
+	total := 0
+	for _, v := range counts { // want `range over a map iterates in nondeterministic order`
+		total += v
+	}
+	return total
+}
+
+// sumAllowed is the accepted suppression form: the reason records why
+// iteration order provably cannot affect the result.
+func sumAllowed() int {
+	total := 0
+	//ioatlint:allow simdeterminism — integer sums are commutative; iteration order cannot affect the result
+	for _, v := range counts {
+		total += v
+	}
+	return total
+}
+
+func spawn() {
+	go sum() // want `raw go statement in a simulation package`
+}
+
+func spawnAllowed() {
+	go draw() //ioatlint:allow simdeterminism — fixture: trailing-form suppression, hand-off is deterministic by construction
+}
+
+// virtualOK is the accepted pattern: durations as plain values, method
+// calls on time.Duration, no host clock.
+func virtualOK(d time.Duration) float64 { return d.Seconds() }

@@ -69,6 +69,8 @@ func (c *CPU) SetObs(o *trace.Obs) { c.obs = o }
 func (c *CPU) SetFault(f *fault.NodeFault) { c.fault = f }
 
 // pick returns the index of the core that will become free soonest.
+//
+//ioat:hotpath
 func (c *CPU) pick() int {
 	best := 0
 	for i := 1; i < len(c.cores); i++ {
@@ -81,6 +83,8 @@ func (c *CPU) pick() int {
 
 // enqueue places d of work on core i, attributed to site, and returns
 // its completion time.
+//
+//ioat:hotpath
 func (c *CPU) enqueue(i int, d time.Duration, site trace.Site) sim.Time {
 	if d < 0 {
 		panic("cpu: negative work")
@@ -140,11 +144,15 @@ func (c *CPU) SubmitOnSite(i int, site trace.Site, d time.Duration, fn func()) {
 // be long-lived (package-level) and receives arg when the work drains.
 // The softirq path uses it so per-chunk completion costs no closure
 // allocation.
+//
+//ioat:hotpath
 func (c *CPU) SubmitOnArg(i int, d time.Duration, fn func(any), arg any) {
 	c.SubmitOnArgSite(i, trace.SiteOther, d, fn, arg)
 }
 
 // SubmitOnArgSite is SubmitOnArg with an explicit attribution site.
+//
+//ioat:hotpath
 func (c *CPU) SubmitOnArgSite(i int, site trace.Site, d time.Duration, fn func(any), arg any) {
 	end := c.enqueue(i, d, site)
 	c.S.AtArg(end, fn, arg)
@@ -191,16 +199,22 @@ func (c *CPU) ExecOnSite(p *sim.Proc, i int, site trace.Site, d time.Duration) {
 // continuation, schedules t's wake at the completion time — the same
 // single event a blocked Proc's Sleep would push — and returns true: the
 // caller must suspend.
+//
+//ioat:hotpath
 func (c *CPU) ExecTask(t *sim.Task, cont func(), d time.Duration) bool {
 	return c.ExecTaskOnSite(t, cont, c.pick(), trace.SiteApp, d)
 }
 
 // ExecTaskSite is ExecTask with an explicit attribution site.
+//
+//ioat:hotpath
 func (c *CPU) ExecTaskSite(t *sim.Task, cont func(), site trace.Site, d time.Duration) bool {
 	return c.ExecTaskOnSite(t, cont, c.pick(), site, d)
 }
 
 // ExecTaskOnSite is ExecTaskSite on a specific core.
+//
+//ioat:hotpath
 func (c *CPU) ExecTaskOnSite(t *sim.Task, cont func(), i int, site trace.Site, d time.Duration) bool {
 	end := c.enqueue(i, d, site)
 	if end.Sub(t.Now()) <= 0 {

@@ -86,6 +86,8 @@ func (e *Engine) TransferTime(n int) time.Duration {
 //
 // Destination cache lines are invalidated at completion: the engine wrote
 // memory behind the cache's back.
+//
+//ioat:hotpath
 func (e *Engine) Submit(src, dst mem.Addr, n int) *sim.Completion {
 	if n < 0 {
 		panic("dma: negative transfer")
@@ -95,6 +97,7 @@ func (e *Engine) Submit(src, dst mem.Addr, n int) *sim.Completion {
 		done = e.doneFree[k-1]
 		e.doneFree = e.doneFree[:k-1]
 	} else {
+		//ioatlint:allow hotpathalloc — completion free-list refill: amortized to zero by Recycle
 		done = e.S.NewCompletion()
 	}
 	now := e.S.Now()
@@ -120,6 +123,7 @@ func (e *Engine) Submit(src, dst mem.Addr, n int) *sim.Completion {
 		x = e.xferFree[k-1]
 		e.xferFree = e.xferFree[:k-1]
 	} else {
+		//ioatlint:allow hotpathalloc — xfer free-list refill: xferDone recycles every descriptor
 		x = &xfer{e: e}
 	}
 	x.dst, x.n, x.done = dst, n, done
@@ -128,6 +132,8 @@ func (e *Engine) Submit(src, dst mem.Addr, n int) *sim.Completion {
 }
 
 // xferDone is the pre-bound transfer-completion event.
+//
+//ioat:hotpath
 func xferDone(a any) {
 	x := a.(*xfer)
 	e := x.e
@@ -148,6 +154,8 @@ func xferDone(a any) {
 // Recycle returns a fired completion handed out by Submit to the engine's
 // pool. Callers may recycle only after the completion has fired and its
 // waiter (if any) has resumed — i.e. after Wait has returned.
+//
+//ioat:hotpath
 func (e *Engine) Recycle(done *sim.Completion) {
 	done.Reset()
 	e.doneFree = append(e.doneFree, done)

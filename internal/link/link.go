@@ -50,18 +50,23 @@ type ChunkPool struct {
 func NewChunkPool() *ChunkPool { return &ChunkPool{} }
 
 // Get returns a zeroed chunk backed by this pool.
+//
+//ioat:hotpath
 func (cp *ChunkPool) Get() *Chunk {
 	if n := len(cp.free); n > 0 {
 		c := cp.free[n-1]
 		cp.free = cp.free[:n-1]
 		return c
 	}
+	//ioatlint:allow hotpathalloc — pool refill when the free list is empty: Release recycles every chunk, so the steady state reuses
 	return &Chunk{pool: cp}
 }
 
 // Release returns the chunk to its origin pool. Chunks built without a
 // pool (struct literals in tests and custom drivers) are left to the
 // garbage collector.
+//
+//ioat:hotpath
 func (c *Chunk) Release() {
 	cp := c.pool
 	if cp == nil {
@@ -123,6 +128,8 @@ func (p *Port) serTime(n int) time.Duration {
 // Send transmits c to dst. The chunk occupies this port's transmit side
 // and dst's receive side for its serialization time; dst.Deliver fires
 // when the last bit has arrived.
+//
+//ioat:hotpath
 func (p *Port) Send(dst *Port, c *Chunk) {
 	if c.WireBytes <= 0 {
 		panic("link: empty chunk")
@@ -187,6 +194,8 @@ func (p *Port) Send(dst *Port, c *Chunk) {
 // deliverChunk is the pre-bound delivery event: the chunk itself carries
 // its endpoints, so the steady-state fabric path schedules without a
 // per-chunk closure.
+//
+//ioat:hotpath
 func deliverChunk(a any) {
 	c := a.(*Chunk)
 	p, dst := c.src, c.dst

@@ -153,6 +153,8 @@ func (c *Cache) touch(base int, tag, tick uint64) bool {
 
 // Access touches the line containing addr, allocating it on miss, and
 // reports whether it was a hit.
+//
+//ioat:hotpath
 func (c *Cache) Access(addr Addr) bool {
 	line := uint64(addr) >> c.shift
 	base := int(line&c.mask) * c.stride
@@ -243,6 +245,8 @@ func (c *Cache) accessLines(first uint64, n int) (hits, misses int) {
 // AccessRange touches every line of [addr, addr+n) and returns the hit
 // and miss counts. It is the bulk path under every modeled copy and
 // checksum.
+//
+//ioat:hotpath
 func (c *Cache) AccessRange(addr Addr, n int) (hits, misses int) {
 	if n <= 0 {
 		return 0, 0
@@ -255,6 +259,8 @@ func (c *Cache) AccessRange(addr Addr, n int) (hits, misses int) {
 // AccessLines touches nLines consecutive lines starting with the one
 // holding addr — the dependent-access pattern of protocol-header and
 // connection-state reads, priced per line by Model.RandomCost.
+//
+//ioat:hotpath
 func (c *Cache) AccessLines(addr Addr, nLines int) (hits, misses int) {
 	if nLines <= 0 {
 		return 0, 0
@@ -267,6 +273,8 @@ func (c *Cache) AccessLines(addr Addr, nLines int) (hits, misses int) {
 // It returns how many valid lines belonging to other addresses were
 // evicted to make room: the pollution a full-packet placement inflicts
 // on the rest of the system.
+//
+//ioat:hotpath
 func (c *Cache) Install(addr Addr, n int) (evicted int) {
 	if n <= 0 {
 		return 0
@@ -338,6 +346,8 @@ func (c *Cache) Install(addr Addr, n int) (evicted int) {
 // DMA write forces on the CPU cache (paper §2.2.2). The whole run of
 // consecutive sets is walked with one cursor; LRU state and the tick are
 // untouched, as invalidation is not a reference.
+//
+//ioat:hotpath
 func (c *Cache) Invalidate(addr Addr, n int) {
 	if n <= 0 {
 		return

@@ -63,9 +63,12 @@ func (m *Model) SetChecker(c *check.Checker) {
 func (m *Model) SetObs(o *trace.Obs) { m.obs = o }
 
 // streamObs attributes one priced streaming operation and marks miss
-// bursts. Called only when obs is installed.
+// bursts. No-op when obs is not installed.
 func (m *Model) streamObs(hits, misses int) {
 	o := m.obs
+	if o == nil {
+		return
+	}
 	o.Cost(trace.SiteCopyHit, time.Duration(hits)*m.P.StreamHit)
 	o.Cost(trace.SiteCopyMiss, time.Duration(misses)*m.P.StreamMiss)
 	if misses >= missBurstLines {
@@ -88,6 +91,8 @@ func (m *Model) observe() {
 // cache (both source reads and write-allocated destination lines pass
 // through it — this is the pollution the DMA engine avoids). Streaming
 // access costs apply: the hardware prefetcher hides most of the latency.
+//
+//ioat:hotpath
 func (m *Model) CopyCost(src, dst Addr, n int) time.Duration {
 	if n <= 0 {
 		return 0
@@ -118,6 +123,8 @@ func (m *Model) lineSpan(addr Addr, n int) int {
 
 // TouchCost prices a streaming read or write pass over [addr, addr+n),
 // e.g. an application scanning a received buffer.
+//
+//ioat:hotpath
 func (m *Model) TouchCost(addr Addr, n int) time.Duration {
 	if n <= 0 {
 		return 0
@@ -138,6 +145,8 @@ func (m *Model) TouchCost(addr Addr, n int) time.Duration {
 // the pattern of protocol-header and connection-state reads, where each
 // miss pays the full DRAM latency. The lines are consecutive, so the
 // cache walks them in one batched pass instead of one Access call each.
+//
+//ioat:hotpath
 func (m *Model) RandomCost(addr Addr, nLines int) time.Duration {
 	h, miss := m.Cache.AccessLines(addr, nLines)
 	if m.chk != nil {
@@ -155,12 +164,16 @@ func (m *Model) RandomCost(addr Addr, nLines int) time.Duration {
 // DMAWrite models a device (NIC or copy engine) writing [addr, addr+n):
 // the data lands in memory and any stale cached lines are invalidated,
 // so the CPU's next access misses.
+//
+//ioat:hotpath
 func (m *Model) DMAWrite(addr Addr, n int) {
 	m.Cache.Invalidate(addr, n)
 }
 
 // InstallHeader models direct cache placement of a split header: the
 // header bytes are pushed into the cache so the protocol code hits.
+//
+//ioat:hotpath
 func (m *Model) InstallHeader(addr Addr, n int) {
 	m.Cache.Install(addr, n)
 }
@@ -169,6 +182,8 @@ func (m *Model) InstallHeader(addr Addr, n int) {
 // platform without split headers): the whole frame lands in the cache and
 // the cost of the valid lines it displaces is charged to the receive
 // path.
+//
+//ioat:hotpath
 func (m *Model) InstallPacket(addr Addr, n int) time.Duration {
 	evicted := m.Cache.Install(addr, n)
 	if m.chk != nil {

@@ -68,12 +68,14 @@ func (s *Snapshot) WriteJSON(w io.Writer) error {
 	s.mu.Lock()
 	order := append([]string(nil), s.order...)
 	fns := make(map[string]func() float64, len(s.fns))
-	for k, v := range s.fns {
-		fns[k] = v
-	}
 	hists := make(map[string]*LockedHistogram, len(s.hists))
-	for k, v := range s.hists {
-		hists[k] = v
+	for _, name := range order {
+		if v, ok := s.fns[name]; ok {
+			fns[name] = v
+		}
+		if h, ok := s.hists[name]; ok {
+			hists[name] = h
+		}
 	}
 	s.mu.Unlock()
 

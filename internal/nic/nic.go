@@ -55,6 +55,8 @@ type RxChunk struct {
 // the chunk descriptors. The receive path calls this when the owning recv
 // call returns (the skbs stay on the socket queue until then, as in the
 // kernel's net_dma).
+//
+//ioat:hotpath
 func (rx *RxChunk) Free() {
 	n := rx.nic
 	for _, b := range rx.Bufs {
@@ -157,6 +159,8 @@ func (n *NIC) Port(i int) *link.Port { return n.Ports[i] }
 // lands on the single CPU that handles the controllers' interrupts
 // (paper §2.2.3: "even on multi-CPU systems, processing occurs on a
 // single CPU"); with them, flows spread across all cores.
+//
+//ioat:hotpath
 func (n *NIC) RxCore(port int, f Flow) int {
 	if n.Feat.MultiQueue {
 		return f.FlowID() % n.CPU.NumCores()
@@ -165,6 +169,8 @@ func (n *NIC) RxCore(port int, f Flow) int {
 }
 
 // hdrSlot returns the next split-header ring slot (2 lines per frame).
+//
+//ioat:hotpath
 func (n *NIC) hdrSlot() mem.Addr {
 	if n.hdrOff+n.hdrSlotBytes > n.hdrRing.Size {
 		n.hdrOff = 0
@@ -177,6 +183,8 @@ func (n *NIC) hdrSlot() mem.Addr {
 // deliver is the link-layer entry point: it prices the interrupt and
 // per-frame protocol work of the chunk, runs it on the flow's receive
 // core, and then hands the chunk to the transport.
+//
+//ioat:hotpath
 func (n *NIC) deliver(port int, c *link.Chunk) {
 	flow, ok := c.Meta.(Flow)
 	if !ok {
@@ -226,6 +234,7 @@ func (n *NIC) deliver(port int, c *link.Chunk) {
 		rx = n.rxFree[nf-1]
 		n.rxFree = n.rxFree[:nf-1]
 	} else {
+		//ioatlint:allow hotpathalloc — rx-descriptor free-list refill: Free recycles every descriptor
 		rx = &RxChunk{nic: n}
 	}
 	bufs := rx.Bufs[:0]
@@ -290,6 +299,8 @@ func (n *NIC) deliver(port int, c *link.Chunk) {
 // rxReady is the pre-bound softirq-completion event: it fires on the
 // receive core when the chunk's protocol work has drained, and hands the
 // chunk to the transport. Package-level so scheduling it costs no closure.
+//
+//ioat:hotpath
 func rxReady(a any) {
 	rx := a.(*RxChunk)
 	n := rx.nic
@@ -312,6 +323,8 @@ func rxReady(a any) {
 // TxComplete charges the transmit-completion work (interrupt, descriptor
 // reclaim, skb free) for n payload bytes sent on the given port to the
 // interrupt core. It runs asynchronously to the sending thread.
+//
+//ioat:hotpath
 func (n *NIC) TxComplete(port int, f Flow, bytes int) {
 	frames := n.P.Frames(bytes)
 	n.CPU.SubmitOnSite(n.RxCore(port, f), trace.SiteTxComplete,
@@ -321,6 +334,8 @@ func (n *NIC) TxComplete(port int, f Flow, bytes int) {
 // TxCost returns the sender-side CPU cost of segmenting and queueing n
 // payload bytes: per-frame work on the host unless TSO lets the NIC
 // segment.
+//
+//ioat:hotpath
 func (n *NIC) TxCost(bytes int) time.Duration {
 	frames := n.P.Frames(bytes)
 	per := n.P.TxFrame

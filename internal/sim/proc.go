@@ -35,6 +35,7 @@ func (s *Simulator) Spawn(name string, fn func(p *Proc)) *Proc {
 func (s *Simulator) SpawnAfter(d Duration, name string, fn func(p *Proc)) *Proc {
 	p := &Proc{sim: s, name: name, resume: make(chan struct{})}
 	s.nprocs++
+	//ioatlint:allow simdeterminism — the engine's own process machinery: exactly one goroutine runs at a time, hand-off is via resume/parked, so scheduling stays deterministic
 	go func() {
 		<-p.resume // wait to be scheduled for the first time
 		fn(p)
@@ -50,6 +51,8 @@ func (s *Simulator) SpawnAfter(d Duration, name string, fn func(p *Proc)) *Proc 
 // (Sleep, Wake, Completion, Spawn): scheduling it with the process as
 // the event argument costs no allocation, where a per-event closure
 // over p would.
+//
+//ioat:hotpath
 func resumeProc(a any) {
 	p := a.(*Proc)
 	p.sim.runProc(p)
@@ -84,12 +87,16 @@ func (p *Proc) park() {
 func (p *Proc) Park() { p.park() }
 
 // Wake schedules a parked process to resume at the current time.
+//
+//ioat:hotpath
 func (s *Simulator) Wake(p *Proc) {
 	s.ScheduleArg(0, resumeProc, p)
 }
 
 // Sleep suspends the process for virtual duration d. The wake-up event
 // is pre-bound to the process, so sleeping allocates nothing.
+//
+//ioat:hotpath
 func (p *Proc) Sleep(d Duration) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative sleep %v", d))
@@ -124,6 +131,8 @@ func (c *Completion) Done() bool { return c.c.done }
 
 // Complete fires the completion, waking the waiter if one is parked.
 // Completing twice panics: that always indicates a protocol bug.
+//
+//ioat:hotpath
 func (c *Completion) Complete() {
 	if c.c.done {
 		panic("sim: completion fired twice")
@@ -139,6 +148,8 @@ func (c *Completion) Complete() {
 // completions instead of allocating one per transfer. It panics if the
 // completion has not fired or still has a parked waiter — recycling an
 // in-flight completion would strand its waiter forever.
+//
+//ioat:hotpath
 func (c *Completion) Reset() {
 	if !c.c.done {
 		panic("sim: reset of an unfired completion")
@@ -166,6 +177,8 @@ func (c *Completion) Wait(p *Proc) {
 // (mirroring Wait's immediate return); otherwise it installs cont as t's
 // continuation, registers t as the waiter, and returns true — the caller
 // must suspend, and Complete will wake t.
+//
+//ioat:hotpath
 func (c *Completion) WaitTask(t *Task, cont func()) bool {
 	if c.c.done {
 		return false

@@ -271,6 +271,8 @@ func (s *Simulator) Pending() int { return s.pending }
 
 // Schedule arranges for fn to run after delay d. A negative delay panics:
 // simulated time cannot move backwards.
+//
+//ioat:hotpath
 func (s *Simulator) Schedule(d Duration, fn func()) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
@@ -280,6 +282,8 @@ func (s *Simulator) Schedule(d Duration, fn func()) {
 
 // At arranges for fn to run at absolute time t, which must not precede the
 // current time.
+//
+//ioat:hotpath
 func (s *Simulator) At(t Time, fn func()) {
 	s.push(t, fn, nil, nil)
 }
@@ -289,6 +293,8 @@ func (s *Simulator) At(t Time, fn func()) {
 // a pooled pointer — is passed to it at dispatch. Unlike a capturing
 // closure, the pair allocates nothing, which keeps the steady-state
 // packet path (wake-ups, deliveries, credits, completions) alloc-free.
+//
+//ioat:hotpath
 func (s *Simulator) ScheduleArg(d Duration, fn func(any), arg any) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
@@ -297,6 +303,8 @@ func (s *Simulator) ScheduleArg(d Duration, fn func(any), arg any) {
 }
 
 // AtArg is At for a pre-bound callback; see ScheduleArg.
+//
+//ioat:hotpath
 func (s *Simulator) AtArg(t Time, fn func(any), arg any) {
 	s.push(t, nil, fn, arg)
 }
@@ -305,6 +313,8 @@ func (s *Simulator) AtArg(t Time, fn func(any), arg any) {
 // (argFn, arg) pair. Both forms share the arena, sequence numbering and
 // probe hooks, so scheduling order — and therefore every simulated
 // outcome — is independent of which form a caller uses.
+//
+//ioat:hotpath
 func (s *Simulator) push(t Time, fn func(), argFn func(any), arg any) {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, s.now))

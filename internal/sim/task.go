@@ -62,18 +62,26 @@ func (t *Task) Start(fn func()) {
 
 // Wake schedules the task's continuation to run at the current time,
 // behind already-pending same-time events.
+//
+//ioat:hotpath
 func (t *Task) Wake() { t.sim.ScheduleArg(0, resumeTask, t) }
 
 // WakeAfter schedules the continuation after virtual duration d.
+//
+//ioat:hotpath
 func (t *Task) WakeAfter(d Duration) { t.sim.ScheduleArg(d, resumeTask, t) }
 
 // WakeAt schedules the continuation at absolute time at.
+//
+//ioat:hotpath
 func (t *Task) WakeAt(at Time) { t.sim.AtArg(at, resumeTask, t) }
 
 // resumeTask is the pre-bound callback behind every task wake-up — the
 // same zero-allocation event shape as resumeProc, dispatched in the same
 // (time, sequence) order, but running the continuation directly on the
 // event-loop goroutine instead of handing off to a parked goroutine.
+//
+//ioat:hotpath
 func resumeTask(a any) {
 	t := a.(*Task)
 	if t.sim.procProbe != nil {
@@ -87,6 +95,8 @@ func resumeTask(a any) {
 // lists usable by both kinds of context (the transport's window and
 // receive waiters) store them as `any` and wake them through here; both
 // arms push the same single pre-bound event.
+//
+//ioat:hotpath
 func (s *Simulator) WakeAny(w any) {
 	switch v := w.(type) {
 	case *Proc:

@@ -82,6 +82,8 @@ func (s *Simulator) initWheel() {
 
 // enqueue files an arena index into the pending set. The event's time
 // must not precede the current clock (push checks).
+//
+//ioat:hotpath
 func (s *Simulator) enqueue(idx int32, t Time) {
 	s.pending++
 	if s.pending > s.stats.PeakPending {
@@ -126,6 +128,8 @@ func (s *Simulator) enqueue(idx int32, t Time) {
 // range for cascaded ones; either way ref never exceeds base, which
 // keeps every event inside its level's base-anchored window and the
 // absolute slot index unambiguous.
+//
+//ioat:hotpath
 func (s *Simulator) place(idx int32, t Time, ref int64) {
 	delta := int64(t) - ref
 	if delta >= horizon {
@@ -434,6 +438,8 @@ func (s *Simulator) siftSeq(r []int32, i, n int) {
 
 // peekAt returns the timestamp of the earliest pending event without
 // dispatching it (materializing the next bucket if necessary).
+//
+//ioat:hotpath
 func (s *Simulator) peekAt() (Time, bool) {
 	if s.readyHead >= len(s.ready) && !s.refill() {
 		return 0, false
@@ -444,6 +450,8 @@ func (s *Simulator) peekAt() (Time, bool) {
 // pop removes the earliest event, releases its arena slot, and returns
 // its timestamp and callback fields (exactly one of fn and argFn is
 // non-nil). The pending set must be non-empty.
+//
+//ioat:hotpath
 func (s *Simulator) pop() (at Time, fn func(), argFn func(any), arg any) {
 	if s.readyHead >= len(s.ready) {
 		s.refill()

@@ -124,6 +124,8 @@ func (s *Sender) loop() {
 
 // afterWake resumes a window-stalled sender: charge the wake-up cost the
 // blocking path charges after Park, then re-check the window.
+//
+//ioat:hotpath
 func (s *Sender) afterWake() {
 	st := s.c.stack
 	if st.CPU.ExecTaskSite(s.task, s.stepLoop, trace.SiteCtxSwitch, st.CPU.WakeCost()) {
@@ -133,6 +135,8 @@ func (s *Sender) afterWake() {
 }
 
 // post re-enters the loop after the per-chunk CPU charge completes.
+//
+//ioat:hotpath
 func (s *Sender) post() {
 	s.postChunk()
 	s.loop()
@@ -140,6 +144,8 @@ func (s *Sender) post() {
 
 // postChunk hands the charged chunk to the NIC — the exact post-charge
 // block of the blocking SendOpts.
+//
+//ioat:hotpath
 func (s *Sender) postChunk() {
 	c := s.c
 	st := c.stack
@@ -303,6 +309,8 @@ func (r *Receiver) loop() {
 
 // afterWake resumes a queue-drained receiver: charge the wake-up cost,
 // then re-check the queue.
+//
+//ioat:hotpath
 func (r *Receiver) afterWake() {
 	st := r.c.stack
 	if st.CPU.ExecTaskSite(r.task, r.stepLoop, trace.SiteCtxSwitch, st.CPU.WakeCost()) {
@@ -314,6 +322,8 @@ func (r *Receiver) afterWake() {
 // afterDMASubmitCharge runs once the submit cost has been charged: hand
 // the chunk to the engine, then charge the recv syscall and wait for the
 // copy.
+//
+//ioat:hotpath
 func (r *Receiver) afterDMASubmitCharge() {
 	st := r.c.stack
 	r.submitDMA()
@@ -325,6 +335,8 @@ func (r *Receiver) afterDMASubmitCharge() {
 
 // afterRecvCharge waits for the engine copy after the recv syscall
 // charge completes.
+//
+//ioat:hotpath
 func (r *Receiver) afterRecvCharge() {
 	if r.pd.dma.WaitTask(r.task, r.stepPost) {
 		return
@@ -334,6 +346,8 @@ func (r *Receiver) afterRecvCharge() {
 
 // submitDMA mirrors Stack.submitDMA's engine hand-off (the CPU charge
 // has already been applied by the caller).
+//
+//ioat:hotpath
 func (r *Receiver) submitDMA() {
 	st := r.c.stack
 	pd := r.pd
@@ -341,6 +355,8 @@ func (r *Receiver) submitDMA() {
 }
 
 // post re-enters the loop after a copy (CPU or engine) completes.
+//
+//ioat:hotpath
 func (r *Receiver) post() {
 	r.consume()
 	r.loop()
@@ -348,6 +364,8 @@ func (r *Receiver) post() {
 
 // consume applies the consumed bytes to the connection — the exact
 // post-copy block of the blocking Recv.
+//
+//ioat:hotpath
 func (r *Receiver) consume() {
 	c := r.c
 	st := c.stack
@@ -379,6 +397,8 @@ func (r *Receiver) consume() {
 
 // finish releases kernel buffers and fires the done callback — the
 // blocking Recv's return path.
+//
+//ioat:hotpath
 func (r *Receiver) finish() {
 	c := r.c
 	st := c.stack

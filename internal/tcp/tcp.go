@@ -559,6 +559,8 @@ type creditEv struct {
 
 // credit returns m bytes of window to the sender after the ACK delay and
 // charges the sender's ACK processing (one delayed ACK per two frames).
+//
+//ioat:hotpath
 func (c *Conn) credit(m int) {
 	st := c.stack
 	var ev *creditEv
@@ -566,6 +568,7 @@ func (c *Conn) credit(m int) {
 		ev = st.creditFree[k-1]
 		st.creditFree = st.creditFree[:k-1]
 	} else {
+		//ioatlint:allow hotpathalloc — credit-event free-list refill: applyCredit recycles every event
 		ev = &creditEv{}
 	}
 	ev.conn, ev.m, ev.acks = c, m, (st.P.Frames(m)+1)/2

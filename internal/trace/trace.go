@@ -307,6 +307,7 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 	seen := map[track]bool{}
 	t.ordered(func(r *record) { seen[track{r.pid, r.tid}] = true })
 	tracks := make([]track, 0, len(seen))
+	//ioatlint:allow simdeterminism — keys are collected then sorted below; the range order never escapes
 	for tr := range seen {
 		tracks = append(tracks, tr)
 	}
